@@ -1,0 +1,330 @@
+package pperf
+
+// The benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (each regenerates the artifact through internal/experiments and
+// fails if the paper's qualitative shape is not reproduced), the ablation
+// benches DESIGN.md calls out, and microbenchmarks of the substrate layers.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The figure benches are macro-benchmarks: one iteration regenerates the
+// whole artifact, so ns/op is the cost of reproducing that figure.
+
+import (
+	"testing"
+
+	"pperf/internal/cluster"
+	"pperf/internal/daemon"
+	"pperf/internal/experiments"
+	"pperf/internal/mdl"
+	"pperf/internal/metric"
+	"pperf/internal/mpi"
+	"pperf/internal/pperfmark"
+	"pperf/internal/probe"
+	"pperf/internal/resource"
+	"pperf/internal/sim"
+)
+
+// benchExperiment regenerates one of the paper's artifacts per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.OK {
+			b.Fatalf("%s did not reproduce: %v", id, res.Notes)
+		}
+	}
+}
+
+// --- tables ---------------------------------------------------------------
+
+func BenchmarkTable1RMAMetrics(b *testing.B)    { benchExperiment(b, "table1") }
+func BenchmarkTable2PPerfMarkMPI1(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkTable3PPerfMarkMPI2(b *testing.B) { benchExperiment(b, "table3") }
+
+// --- figures ----------------------------------------------------------------
+
+func BenchmarkFigure1RMASyncPatterns(b *testing.B)          { benchExperiment(b, "fig1") }
+func BenchmarkFigure2MDLCompile(b *testing.B)               { benchExperiment(b, "fig2") }
+func BenchmarkFigure3SmallMessagesPC(b *testing.B)          { benchExperiment(b, "fig3") }
+func BenchmarkFigure4SmallMessagesBytes(b *testing.B)       { benchExperiment(b, "fig4") }
+func BenchmarkFigure5BigMessagePC(b *testing.B)             { benchExperiment(b, "fig5") }
+func BenchmarkFigure6BigMessageBytes(b *testing.B)          { benchExperiment(b, "fig6") }
+func BenchmarkFigure7WrongWayPC(b *testing.B)               { benchExperiment(b, "fig7") }
+func BenchmarkFigure8WrongWayBytes(b *testing.B)            { benchExperiment(b, "fig8") }
+func BenchmarkFigure9RandomBarrierPC(b *testing.B)          { benchExperiment(b, "fig9") }
+func BenchmarkFigure10IntensiveServerPC(b *testing.B)       { benchExperiment(b, "fig10") }
+func BenchmarkFigure11IntensiveServerHist(b *testing.B)     { benchExperiment(b, "fig11") }
+func BenchmarkFigure12JumpshotIntensiveServer(b *testing.B) { benchExperiment(b, "fig12") }
+func BenchmarkFigure14DiffuseProcedurePC(b *testing.B)      { benchExperiment(b, "fig14") }
+func BenchmarkFigure15DiffuseProcedureHist(b *testing.B)    { benchExperiment(b, "fig15") }
+func BenchmarkFigure16JumpshotDiffuse(b *testing.B)         { benchExperiment(b, "fig16") }
+func BenchmarkFigure17JumpshotRandomBarrier(b *testing.B)   { benchExperiment(b, "fig17") }
+func BenchmarkFigure18RandomBarrierSync(b *testing.B)       { benchExperiment(b, "fig18") }
+func BenchmarkFigure19GprofHotProcedure(b *testing.B)       { benchExperiment(b, "fig19") }
+func BenchmarkFigure20HotProcedureSstwodPC(b *testing.B)    { benchExperiment(b, "fig20") }
+func BenchmarkFigure21WinscpwsyncPC(b *testing.B)           { benchExperiment(b, "fig21") }
+func BenchmarkFigure22OnedPC(b *testing.B)                  { benchExperiment(b, "fig22") }
+func BenchmarkFigure23SpawnResourceHierarchy(b *testing.B)  { benchExperiment(b, "fig23") }
+func BenchmarkFigure24SpawnPC(b *testing.B)                 { benchExperiment(b, "fig24") }
+func BenchmarkPrestaComparison(b *testing.B)                { benchExperiment(b, "presta") }
+
+// --- ablations (DESIGN.md) ---------------------------------------------------
+
+// BenchmarkAblationEagerThreshold compares big-message-style exchange with
+// the protocol switch above vs below the message size: rendezvous couples
+// the sender to the receiver and dominates the runtime shape.
+func BenchmarkAblationEagerThreshold(b *testing.B) {
+	const msgBytes = 100000
+	runWith := func(threshold int) sim.Time {
+		eng := sim.NewEngine(1)
+		impl := mpi.NewImpl(mpi.LAM)
+		impl.Cost.EagerThreshold = threshold
+		w := mpi.NewWorld(eng, cluster.DefaultSpec(2, 1), impl)
+		w.Register("x", func(r *mpi.Rank, _ []string) {
+			c := r.World()
+			other := 1 - r.Rank()
+			for i := 0; i < 200; i++ {
+				if r.Rank() == 0 {
+					c.Send(r, nil, msgBytes, mpi.Byte, other, 0)
+					c.Recv(r, nil, msgBytes, mpi.Byte, other, 0)
+				} else {
+					c.Recv(r, nil, msgBytes, mpi.Byte, other, 0)
+					c.Send(r, nil, msgBytes, mpi.Byte, other, 0)
+				}
+				r.Compute(time500us)
+			}
+		})
+		if _, err := w.LaunchN("x", 2, nil); err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+		return eng.Now()
+	}
+	var rendezvous, eager sim.Time
+	for i := 0; i < b.N; i++ {
+		rendezvous = runWith(64 * 1024) // below message size → handshake
+		eager = runWith(256 * 1024)     // above → fire-and-forget
+	}
+	if eager >= rendezvous {
+		b.Fatalf("eager (%v) should beat rendezvous (%v) for this shape", eager, rendezvous)
+	}
+	b.ReportMetric(rendezvous.Seconds()/eager.Seconds(), "rendezvous/eager-runtime")
+}
+
+const time500us = 500 * sim.Microsecond
+
+// BenchmarkAblationBinFolding compares the fixed-memory folding histogram
+// against an unfolded one: same totals, bounded memory, coarser bins.
+func BenchmarkAblationBinFolding(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		folding := metric.NewHistogram(100, 200*sim.Millisecond)
+		wide := metric.NewHistogram(100000, 200*sim.Millisecond)
+		for t := 0; t < 50000; t++ {
+			at := sim.Time(t) * sim.Time(100*sim.Millisecond)
+			folding.Add(at, 1)
+			wide.Add(at, 1)
+		}
+		if folding.Total() != wide.Total() {
+			b.Fatalf("folding lost mass: %v vs %v", folding.Total(), wide.Total())
+		}
+		if folding.Folds() == 0 {
+			b.Fatal("expected folds")
+		}
+		b.ReportMetric(float64(folding.Folds()), "folds")
+		b.ReportMetric(folding.BinWidth().Seconds(), "final-bin-s")
+	}
+}
+
+// BenchmarkAblationSpawnMethods measures the spawn-operation inflation of
+// the intercept method versus attach (§4.2.2).
+func BenchmarkAblationSpawnMethods(b *testing.B) {
+	measure := func(method daemon.SpawnMethod) sim.Duration {
+		res, err := pperfmark.Run("spawncount", pperfmark.RunOptions{
+			Impl: mpi.LAM, Spawn: method, DisablePC: true,
+			Params: pperfmark.Params{Children: 4},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sim.Duration(res.RunTime)
+	}
+	var intercept, attach sim.Duration
+	for i := 0; i < b.N; i++ {
+		intercept = measure(daemon.SpawnIntercept)
+		attach = measure(daemon.SpawnAttach)
+	}
+	if intercept <= attach {
+		b.Fatalf("intercept (%v) should inflate the spawn vs attach (%v)", intercept, attach)
+	}
+	b.ReportMetric((intercept-attach).Seconds()*1000, "intercept-inflation-ms")
+}
+
+// BenchmarkAblationProbeOverhead measures instrumentation perturbation: the
+// virtual runtime of an instrumented run versus an uninstrumented one.
+func BenchmarkAblationProbeOverhead(b *testing.B) {
+	runWith := func(perProbe sim.Duration, instrument bool) sim.Time {
+		eng := sim.NewEngine(1)
+		w := mpi.NewWorld(eng, cluster.DefaultSpec(2, 1), mpi.NewImpl(mpi.LAM))
+		w.Register("x", func(r *mpi.Rank, _ []string) {
+			r.Probes().PerProbeCost = perProbe
+			c := r.World()
+			for i := 0; i < 5000; i++ {
+				if r.Rank() == 0 {
+					c.Send(r, nil, 4, mpi.Byte, 1, 0)
+				} else {
+					c.Recv(r, nil, 4, mpi.Byte, 0, 0)
+				}
+			}
+		})
+		if _, err := w.LaunchN("x", 2, nil); err != nil {
+			b.Fatal(err)
+		}
+		if instrument {
+			for _, r := range w.Ranks() {
+				cm := mdl.StdLib().Metric("msgs_sent")
+				if _, err := cm.Instantiate(benchTarget{r}, resource.WholeProgram()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if err := eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+		return eng.Now()
+	}
+	var bare, instrumented sim.Time
+	for i := 0; i < b.N; i++ {
+		bare = runWith(0, false)
+		instrumented = runWith(2*sim.Microsecond, true)
+	}
+	if instrumented <= bare {
+		b.Fatal("instrumentation should perturb the run")
+	}
+	b.ReportMetric((instrumented.Seconds()/bare.Seconds()-1)*100, "perturbation-%")
+}
+
+// benchTarget adapts a Rank for direct metric instantiation in benches.
+type benchTarget struct{ r *mpi.Rank }
+
+func (t benchTarget) Probes() *probe.Process            { return t.r.Probes() }
+func (t benchTarget) FunctionsOfModule(string) []string { return nil }
+func (t benchTarget) WallNow() sim.Time                 { return t.r.Now() }
+func (t benchTarget) CPUNow() sim.Duration              { return t.r.CPUTime() }
+func (t benchTarget) SystemNow() sim.Duration           { return t.r.SystemTime() }
+
+// BenchmarkAblationPCThreshold reproduces the diffuse-procedure threshold
+// sensitivity: found at 0.2, missed at the default 0.3 (§5.1.6).
+func BenchmarkAblationPCThreshold(b *testing.B) {
+	runAt := func(threshold float64) bool {
+		cfg := pperfmark.ScaledPCConfig()
+		cfg.CPUThreshold = threshold
+		res, err := pperfmark.Run("diffuse-procedure", pperfmark.RunOptions{
+			Impl: mpi.LAM, PC: &cfg,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.PC.HasFinding("CPUBound", "bottleneckProcedure")
+	}
+	for i := 0; i < b.N; i++ {
+		if runAt(0.3) {
+			b.Fatal("default threshold should miss the 25% bottleneck")
+		}
+		if !runAt(0.2) {
+			b.Fatal("0.2 threshold should find the bottleneck")
+		}
+	}
+}
+
+// --- substrate microbenchmarks ----------------------------------------------
+
+// BenchmarkEngineDispatch measures the raw coroutine handoff cost.
+func BenchmarkEngineDispatch(b *testing.B) {
+	eng := sim.NewEngine(1)
+	n := 0
+	eng.StartProc("p", func(p *sim.Proc) {
+		for {
+			p.Sleep(sim.Microsecond)
+			n++
+		}
+	})
+	b.ResetTimer()
+	eng.RunFor(sim.Duration(b.N+2) * sim.Microsecond)
+	b.StopTimer()
+	if n < b.N {
+		b.Fatalf("ticks %d < N %d", n, b.N)
+	}
+}
+
+// BenchmarkSendRecvPerOp measures the simulated cost of one eager message.
+func BenchmarkSendRecvPerOp(b *testing.B) {
+	eng := sim.NewEngine(1)
+	w := mpi.NewWorld(eng, cluster.DefaultSpec(2, 1), mpi.NewImpl(mpi.LAM))
+	iters := b.N
+	w.Register("x", func(r *mpi.Rank, _ []string) {
+		c := r.World()
+		for i := 0; i < iters; i++ {
+			if r.Rank() == 0 {
+				c.Send(r, nil, 8, mpi.Byte, 1, 0)
+			} else {
+				c.Recv(r, nil, 8, mpi.Byte, 0, 0)
+			}
+		}
+	})
+	if _, err := w.LaunchN("x", 2, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	if err := eng.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkProbeDispatch measures an instrumented function call.
+func BenchmarkProbeDispatch(b *testing.B) {
+	clk := &fixedClock{}
+	p := probe.NewProcess("bench", clk)
+	f := &probe.Function{Name: "f", Module: "m"}
+	count := 0
+	p.Insert("f", probe.Entry, probe.Append, func(*probe.Event) { count++ })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Enter(f)
+		p.Leave(f)
+	}
+	if count != b.N {
+		b.Fatal("probe miscount")
+	}
+}
+
+type fixedClock struct{}
+
+func (fixedClock) Now() sim.Time              { return 0 }
+func (fixedClock) CPUTime() sim.Duration      { return 0 }
+func (fixedClock) AddOverhead(d sim.Duration) {}
+
+// BenchmarkMDLCompile measures compiling the full standard library.
+func BenchmarkMDLCompile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := mdl.CompileSource(mdl.StdSource); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHistogramAdd measures histogram ingestion including folds.
+func BenchmarkHistogramAdd(b *testing.B) {
+	h := metric.NewHistogram(1000, 200*sim.Millisecond)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Add(sim.Time(i)*sim.Time(sim.Millisecond), 1)
+	}
+}

@@ -1,0 +1,187 @@
+// Command pperf runs one PPerfMark program under the full performance tool
+// (daemons, front end, Performance Consultant) and prints what the tool
+// found: the condensed Consultant output, the resource hierarchy, and any
+// verification counters.
+//
+// Usage:
+//
+//	pperf -prog small-messages -impl lam
+//	pperf -prog winscpw-sync -impl mpich2 -iterations 500
+//	pperf -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pperf/internal/consultant"
+	"pperf/internal/core"
+	"pperf/internal/daemon"
+	"pperf/internal/mpi"
+	"pperf/internal/pcl"
+	"pperf/internal/pperfmark"
+)
+
+func main() {
+	var (
+		prog     = flag.String("prog", "", "PPerfMark program to run (see -list)")
+		implName = flag.String("impl", "lam", "MPI implementation personality: lam | mpich | mpich2 | reference")
+		list     = flag.Bool("list", false, "list available programs and exit")
+		iters    = flag.Int("iterations", 0, "override the program's iteration count")
+		procs    = flag.Int("np", 0, "override the process count")
+		waste    = flag.Int("ttw", 0, "override TIMETOWASTE")
+		hier     = flag.Bool("hierarchy", false, "print the final resource hierarchy")
+		tcp      = flag.Bool("judge", true, "judge the findings against the paper's expectations")
+		spawnVia = flag.String("spawn", "intercept", "spawn support method: intercept | attach")
+		seed     = flag.Uint64("seed", 0, "simulation seed")
+		pclFile  = flag.String("pcl", "", "run from a Paradyn Configuration Language file instead")
+	)
+	flag.Parse()
+
+	if *pclFile != "" {
+		if err := runFromPCL(*pclFile); err != nil {
+			fmt.Fprintln(os.Stderr, "pperf:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *list {
+		fmt.Println("MPI-1 programs (Table 2):")
+		for _, n := range pperfmark.MPI1Names() {
+			fmt.Printf("  %-18s %s\n", n, pperfmark.Get(n).Description)
+		}
+		fmt.Println("MPI-2 programs (Table 3):")
+		for _, n := range pperfmark.MPI2Names() {
+			fmt.Printf("  %-18s %s\n", n, pperfmark.Get(n).Description)
+		}
+		return
+	}
+	if *prog == "" {
+		fmt.Fprintln(os.Stderr, "pperf: -prog is required (try -list)")
+		os.Exit(2)
+	}
+	impl, err := parseImpl(*implName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pperf:", err)
+		os.Exit(2)
+	}
+	method := daemon.SpawnIntercept
+	if *spawnVia == "attach" {
+		method = daemon.SpawnAttach
+	}
+
+	res, err := pperfmark.Run(*prog, pperfmark.RunOptions{
+		Impl:  impl,
+		Seed:  *seed,
+		Spawn: method,
+		Params: pperfmark.Params{
+			Iterations:  *iters,
+			Procs:       *procs,
+			TimeToWaste: *waste,
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pperf:", err)
+		os.Exit(1)
+	}
+	if res.Unsupported != nil {
+		fmt.Printf("%s under %s: %v\n", *prog, impl, res.Unsupported)
+		return
+	}
+
+	fmt.Printf("%s under %s — virtual runtime %v, %d probe executions\n\n",
+		*prog, impl, res.RunTime, res.Session.ProbeExecutions())
+	fmt.Println("Performance Consultant (condensed):")
+	fmt.Print(res.PC.Render())
+
+	if *hier {
+		fmt.Println("\nResource hierarchy:")
+		fmt.Print(res.Session.FE.Hierarchy().Render())
+	}
+	if *tcp {
+		v := pperfmark.Judge(res)
+		verdict := "Pass"
+		if !v.Pass {
+			verdict = "FAIL"
+		}
+		fmt.Printf("\nJudgement vs the paper: %s (paper reports %s)\n", verdict, v.PaperResult)
+		for _, d := range v.Details {
+			fmt.Println("  +", d)
+		}
+		for _, p := range v.Problems {
+			fmt.Println("  -", p)
+		}
+	}
+}
+
+// runFromPCL drives the tool from a PCL configuration: the daemon
+// definition's mpi_implementation attribute picks the personality (§4.1),
+// tunable constants configure the Performance Consultant (§5.1.6), embedded
+// MDL extends the metric library, and each process block's mpirun command
+// line is parsed with the implementation's placement notation (§4.1.2).
+func runFromPCL(path string) error {
+	text, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	cfg, err := pcl.Parse(string(text))
+	if err != nil {
+		return err
+	}
+	if len(cfg.Processes) == 0 {
+		return fmt.Errorf("PCL file declares no process blocks")
+	}
+	for _, pr := range cfg.Processes {
+		opts, err := core.OptionsFromPCL(cfg, pr.Daemon, core.Options{Nodes: 4, CPUsPerNode: 2})
+		if err != nil {
+			return err
+		}
+		s, err := core.NewSession(opts)
+		if err != nil {
+			return err
+		}
+		// All suite programs are available to PCL process commands.
+		for _, name := range pperfmark.Names() {
+			p, _, err := pperfmark.Program(name, pperfmark.Params{})
+			if err != nil {
+				return err
+			}
+			s.Register(name, p)
+		}
+		if err := s.LaunchMpirun(pr.Command); err != nil {
+			s.Close()
+			return fmt.Errorf("process %s: %w", pr.Name, err)
+		}
+		pc := consultant.New(s.FE, s.Eng, core.ConsultantConfigFromPCL(cfg))
+		if err := pc.Start(); err != nil {
+			s.Close()
+			return err
+		}
+		if err := s.Run(); err != nil {
+			s.Close()
+			return err
+		}
+		fmt.Printf("process %s (%q) under %s:\n", pr.Name, pr.Command, opts.Impl)
+		fmt.Print(pc.Render())
+		s.Close()
+	}
+	return nil
+}
+
+func parseImpl(name string) (mpi.ImplKind, error) {
+	switch strings.ToLower(name) {
+	case "lam", "lam/mpi":
+		return mpi.LAM, nil
+	case "mpich":
+		return mpi.MPICH, nil
+	case "mpich2":
+		return mpi.MPICH2, nil
+	case "reference", "ref":
+		return mpi.Reference, nil
+	default:
+		return 0, fmt.Errorf("unknown implementation %q", name)
+	}
+}

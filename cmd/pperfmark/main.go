@@ -1,0 +1,49 @@
+// Command pperfmark runs the PPerfMark benchmark suite under the tool and
+// prints Tables 2 and 3 of the paper: per-program pass/fail with the
+// tool's findings, for each MPI implementation.
+//
+// Usage:
+//
+//	pperfmark            # both tables, paper implementations
+//	pperfmark -table 2   # MPI-1 half only
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"pperf/internal/mpi"
+	"pperf/internal/pperfmark"
+)
+
+func main() {
+	table := flag.Int("table", 0, "which table to run: 2 (MPI-1), 3 (MPI-2), 0 = both")
+	ext := flag.Bool("ext", false, "also run the extension programs beyond the paper's tables")
+	flag.Parse()
+
+	if *table == 0 || *table == 2 {
+		rows := pperfmark.RunTable(false, []mpi.ImplKind{mpi.LAM, mpi.MPICH}, pperfmark.RunOptions{})
+		fmt.Print(pperfmark.RenderTable("Table 2: PPerfMark MPI-1 program results (LAM, MPICH)", rows))
+		fmt.Println()
+	}
+	if *table == 0 || *table == 3 {
+		rows := pperfmark.RunTable(true, []mpi.ImplKind{mpi.LAM, mpi.MPICH2}, pperfmark.RunOptions{})
+		fmt.Print(pperfmark.RenderTable("Table 3: PPerfMark MPI-2 program results (LAM, MPICH2)", rows))
+		fmt.Println("\nFail* marks the paper's designed failure (system-time: no system-time metrics).")
+	}
+	if *ext {
+		fmt.Println()
+		var rows []pperfmark.TableRow
+		for _, name := range pperfmark.ExtensionNames() {
+			for _, impl := range []mpi.ImplKind{mpi.LAM, mpi.MPICH2, mpi.Reference} {
+				res, err := pperfmark.Run(name, pperfmark.RunOptions{Impl: impl})
+				if err != nil {
+					fmt.Println("error:", err)
+					continue
+				}
+				rows = append(rows, pperfmark.TableRow{Verdict: pperfmark.Judge(res)})
+			}
+		}
+		fmt.Print(pperfmark.RenderTable("Extensions: delivered future work (passive target, MPI-I/O)", rows))
+	}
+}

@@ -1,0 +1,113 @@
+// Custom metric: extend the tool with a brand-new metric written in MDL —
+// the extensibility Paradyn's Metric Description Language provides and the
+// paper uses to add the Table-1 RMA metrics. Here we define a metric the
+// standard library does not have: the number of *rendezvous-sized* messages
+// (larger than a threshold count), then measure a mixed workload with it.
+//
+//	go run ./examples/custom-metric
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pperf"
+)
+
+// The user-supplied MDL source. It compiles on top of the standard library:
+// new function sets, a new counter metric with byte math via MPI_Type_size,
+// and constrained statements that honour the standard focus constraints.
+const userMDL = `
+resourceList my_send_fns is procedure {
+    "MPI_Send", "PMPI_Send", "MPI_Isend", "PMPI_Isend"
+} flavor { mpi };
+
+metric big_sends {
+    name "big_sends";
+    units msgs;
+    unitstype unnormalized;
+    aggregateOperator sum;
+    style EventCounter;
+    flavor { mpi };
+    constraint moduleConstraint;
+    constraint procedureConstraint;
+    counter bytes;
+    counter count;
+    base is counter {
+        foreach func in my_send_fns {
+            append preinsn func.entry constrained (*
+                MPI_Type_size($arg[2], &bytes);
+                count = $arg[1];
+                if (bytes * count >= 65536) big_sends++;
+            *)
+        }
+    }
+}
+
+metric small_sends {
+    name "small_sends";
+    units msgs;
+    unitstype unnormalized;
+    aggregateOperator sum;
+    style EventCounter;
+    flavor { mpi };
+    constraint moduleConstraint;
+    constraint procedureConstraint;
+    counter bytes;
+    counter count;
+    base is counter {
+        foreach func in my_send_fns {
+            append preinsn func.entry constrained (*
+                MPI_Type_size($arg[2], &bytes);
+                count = $arg[1];
+                if (bytes * count < 65536) small_sends++;
+            *)
+        }
+    }
+}
+`
+
+func main() {
+	s, err := pperf.NewSession(pperf.Options{
+		Impl: pperf.LAM, Nodes: 2, CPUsPerNode: 1,
+		UserMDL: userMDL,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+
+	s.Register("mixed", func(r *pperf.Rank, _ []string) {
+		c := r.World()
+		if r.Rank() == 0 {
+			for i := 0; i < 100; i++ {
+				c.Send(r, nil, 128, pperf.Byte, 1, 0) // small
+				if i%4 == 0 {
+					c.Send(r, nil, 100_000, pperf.Byte, 1, 1) // rendezvous-sized
+				}
+			}
+		} else {
+			for i := 0; i < 100; i++ {
+				c.Recv(r, nil, 128, pperf.Byte, 0, 0)
+				if i%4 == 0 {
+					c.Recv(r, nil, 100_000, pperf.Byte, 0, 1)
+				}
+			}
+		}
+	})
+
+	big := s.MustEnable("big_sends", pperf.WholeProgram())
+	small := s.MustEnable("small_sends", pperf.WholeProgram())
+
+	if err := s.Launch("mixed", 2, nil); err != nil {
+		log.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("big sends (≥64 KiB, rendezvous protocol): %.0f\n", big.Total())
+	fmt.Printf("small sends (eager protocol):             %.0f\n", small.Total())
+	fmt.Println("\nBoth metrics were defined at run time in MDL — no tool rebuild,")
+	fmt.Println("exactly how the paper added the Table-1 RMA metrics to Paradyn.")
+}

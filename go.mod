@@ -1,0 +1,3 @@
+module pperf
+
+go 1.22

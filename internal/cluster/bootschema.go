@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseBootSchema parses a LAM boot schema (the file given to lamboot):
+// one host per line, optionally followed by cpu=N, with #-comments and blank
+// lines ignored. Nodes are indexed in listing order.
+func ParseBootSchema(text string) (*Spec, error) {
+	s := &Spec{SharedFS: false}
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		nd := Node{Name: fields[0], CPUs: 1}
+		for _, f := range fields[1:] {
+			key, val, ok := strings.Cut(f, "=")
+			if !ok {
+				return nil, fmt.Errorf("boot schema line %d: malformed attribute %q", lineNo+1, f)
+			}
+			switch key {
+			case "cpu":
+				n, err := strconv.Atoi(val)
+				if err != nil || n < 1 {
+					return nil, fmt.Errorf("boot schema line %d: bad cpu count %q", lineNo+1, val)
+				}
+				nd.CPUs = n
+			case "user":
+				// accepted and ignored, as lamboot does for scheduling purposes
+			default:
+				return nil, fmt.Errorf("boot schema line %d: unknown attribute %q", lineNo+1, key)
+			}
+		}
+		s.Nodes = append(s.Nodes, nd)
+	}
+	if len(s.Nodes) == 0 {
+		return nil, fmt.Errorf("boot schema: no hosts")
+	}
+	return s, nil
+}
+
+// ParseMachineFile parses an MPICH machine file: one "host[:ncpus]" per
+// line, with #-comments and blank lines ignored.
+func ParseMachineFile(text string) (*Spec, error) {
+	s := &Spec{SharedFS: false}
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		nd := Node{CPUs: 1}
+		host, cpus, ok := strings.Cut(line, ":")
+		nd.Name = host
+		if ok {
+			n, err := strconv.Atoi(cpus)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("machine file line %d: bad cpu count %q", lineNo+1, cpus)
+			}
+			nd.CPUs = n
+		}
+		s.Nodes = append(s.Nodes, nd)
+	}
+	if len(s.Nodes) == 0 {
+		return nil, fmt.Errorf("machine file: no hosts")
+	}
+	return s, nil
+}

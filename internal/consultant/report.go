@@ -1,0 +1,210 @@
+package consultant
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Finding is one true hypothesis node, for programmatic inspection.
+type Finding struct {
+	Hypothesis string
+	FocusStr   string
+	Label      string
+	Value      float64
+	Depth      int
+}
+
+// Findings returns every node that tested true, shallowest first.
+func (c *Consultant) Findings() []Finding {
+	var out []Finding
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.True {
+			out = append(out, Finding{
+				Hypothesis: n.Hypothesis,
+				FocusStr:   n.Focus.String(),
+				Label:      n.Label,
+				Value:      n.Value,
+				Depth:      n.depth,
+			})
+		}
+		for _, ch := range n.Children {
+			walk(ch)
+		}
+	}
+	for _, r := range c.roots {
+		walk(r)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Depth < out[j].Depth })
+	return out
+}
+
+// HasFinding reports whether some true node under the given hypothesis has
+// a focus containing substr (e.g. "MPI_Send", "/SyncObject/Window/0-1").
+// Empty hypothesis matches any.
+func (c *Consultant) HasFinding(hypothesis, substr string) bool {
+	for _, f := range c.Findings() {
+		if hypothesis != "" && f.Hypothesis != hypothesis {
+			continue
+		}
+		if strings.Contains(f.FocusStr, substr) || strings.Contains(f.Label, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+// TopLevelTrue reports whether the named top-level hypothesis tested true.
+func (c *Consultant) TopLevelTrue(hypothesis string) bool {
+	for _, r := range c.roots {
+		if r.Hypothesis == hypothesis {
+			return r.True
+		}
+	}
+	return false
+}
+
+// AnyTrue reports whether any top-level hypothesis tested true (system-time
+// expects none).
+func (c *Consultant) AnyTrue() bool {
+	for _, r := range c.roots {
+		if r.True {
+			return true
+		}
+	}
+	return false
+}
+
+// Render produces the condensed form of the Performance Consultant's
+// findings, as the paper's figures show: the top-level hypotheses with their
+// truth values, and beneath each true one the tree of true refinements.
+func (c *Consultant) Render() string {
+	var b strings.Builder
+	b.WriteString("TopLevelHypothesis\n")
+	for i, r := range c.roots {
+		last := i == len(c.roots)-1
+		connector, indent := "├─ ", "│  "
+		if last {
+			connector, indent = "└─ ", "   "
+		}
+		fmt.Fprintf(&b, "%s%s: %s (%.2f)\n", connector, r.Hypothesis, boolWord(r.True), r.Value)
+		if r.True {
+			renderTrueChildren(&b, r, indent)
+		}
+	}
+	return b.String()
+}
+
+func boolWord(v bool) string {
+	if v {
+		return "true"
+	}
+	return "false"
+}
+
+// renderTrueChildren draws the true descendants of a node, labelling each
+// refinement step, with duplicate foci collapsed.
+func renderTrueChildren(b *strings.Builder, n *Node, indent string) {
+	var kids []*Node
+	seen := map[string]bool{}
+	for _, ch := range n.Children {
+		if ch.True && !seen[ch.Focus.Key()] {
+			seen[ch.Focus.Key()] = true
+			kids = append(kids, ch)
+		}
+	}
+	for i, ch := range kids {
+		last := i == len(kids)-1
+		connector, childIndent := "├─ ", indent+"│  "
+		if last {
+			connector, childIndent = "└─ ", indent+"   "
+		}
+		fmt.Fprintf(b, "%s%s%s (%.2f)\n", indent, connector, ch.describe(), ch.Value)
+		renderTrueChildren(b, ch, childIndent)
+	}
+}
+
+// RenderFull draws the complete search history — every tested node with its
+// truth state and value, refuted and pruned ones included — like Paradyn's
+// full Performance Consultant window (the condensed Render shows only the
+// true path, as the paper's figures do).
+func (c *Consultant) RenderFull() string {
+	var b strings.Builder
+	b.WriteString("Performance Consultant search history\n")
+	var rec func(n *Node, indent string, last bool)
+	rec = func(n *Node, indent string, last bool) {
+		connector, childIndent := "├─ ", indent+"│  "
+		if last {
+			connector, childIndent = "└─ ", indent+"   "
+		}
+		state := "testing"
+		switch {
+		case n.True:
+			state = "TRUE"
+		case n.Pruned:
+			state = "pruned"
+		case n.evals > 0:
+			state = "false"
+		}
+		fmt.Fprintf(&b, "%s%s%s [%s %.2f]\n", indent, connector, n.describe(), state, n.Value)
+		for i, ch := range n.Children {
+			rec(ch, childIndent, i == len(n.Children)-1)
+		}
+	}
+	for i, r := range c.roots {
+		rec(r, "", i == len(c.roots)-1)
+	}
+	return b.String()
+}
+
+// Stats summarizes the search: nodes tested, true, pruned.
+func (c *Consultant) Stats() (tested, trueCount, pruned int) {
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		tested++
+		if n.True {
+			trueCount++
+		}
+		if n.Pruned {
+			pruned++
+		}
+		for _, ch := range n.Children {
+			walk(ch)
+		}
+	}
+	for _, r := range c.roots {
+		walk(r)
+	}
+	return
+}
+
+// describe renders the refinement step this node adds over its parent.
+func (n *Node) describe() string {
+	if n.Parent == nil {
+		return n.Hypothesis
+	}
+	p := n.Parent.Focus
+	f := n.Focus
+	switch {
+	case f.CodePath != p.CodePath:
+		return n.Label
+	case f.SyncPath != p.SyncPath:
+		return f.SyncPath + nameSuffix(n)
+	case f.MachinePath != p.MachinePath:
+		return f.MachinePath
+	default:
+		return n.Label
+	}
+}
+
+// nameSuffix appends a friendly name when the resource has one.
+func nameSuffix(n *Node) string {
+	h := n.c.fe.Hierarchy()
+	if res := h.FindPath(n.Focus.SyncPath); res != nil {
+		if res.DisplayName() != res.Name() {
+			return fmt.Sprintf(" (%s)", res.DisplayName())
+		}
+	}
+	return ""
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"pperf/internal/cluster"
+	"pperf/internal/consultant"
+	"pperf/internal/mpi"
+	"pperf/internal/pcl"
+	"pperf/internal/sim"
+)
+
+// OptionsFromPCL builds session options from a PCL configuration, using the
+// named daemon definition's mpi_implementation attribute (the §4.1
+// extension) and merging any embedded MDL. base supplies everything PCL
+// does not configure (cluster size, seed).
+func OptionsFromPCL(cfg *pcl.Config, daemonName string, base Options) (Options, error) {
+	d := cfg.Daemon(daemonName)
+	if d == nil {
+		return base, fmt.Errorf("core: PCL has no daemon %q", daemonName)
+	}
+	switch d.MPIImplementation {
+	case "lam":
+		base.Impl = mpi.LAM
+	case "mpich":
+		base.Impl = mpi.MPICH
+	case "mpich2":
+		base.Impl = mpi.MPICH2
+	case "reference":
+		base.Impl = mpi.Reference
+	case "":
+		return base, fmt.Errorf("core: daemon %q has no mpi_implementation attribute (required on non-shared filesystems, §4.1)", daemonName)
+	}
+	if cfg.MDL != "" {
+		base.UserMDL += "\n" + cfg.MDL
+	}
+	return base, nil
+}
+
+// ConsultantConfigFromPCL applies the PCL tunable constants the paper
+// adjusts (§5.1.6 lowers PC_CPUThreshold to 0.2) over the defaults.
+func ConsultantConfigFromPCL(cfg *pcl.Config) consultant.Config {
+	c := consultant.DefaultConfig()
+	c.CPUThreshold = cfg.Tunable("PC_CPUThreshold", c.CPUThreshold)
+	c.SyncThreshold = cfg.Tunable("PC_SyncThreshold", c.SyncThreshold)
+	c.IOThreshold = cfg.Tunable("PC_IOThreshold", c.IOThreshold)
+	if v, ok := cfg.Tunables["PC_EvalIntervalMS"]; ok {
+		c.EvalInterval = sim.Duration(v) * sim.Millisecond
+	}
+	return c
+}
+
+// LaunchMpirun launches a registered program from an mpirun command line,
+// parsed with the launcher syntax of the session's MPI implementation: LAM's
+// -np/N/C/nR/cR placement notation, or MPICH's -np/-m/-wdir (§4.1). Machine
+// files named by -m are looked up in the world's in-memory FS.
+func (s *Session) LaunchMpirun(commandLine string) error {
+	argv := strings.Fields(commandLine)
+	if len(argv) > 0 && argv[0] == "mpirun" {
+		argv = argv[1:]
+	}
+	var plan *cluster.LaunchPlan
+	var err error
+	switch s.World.Impl.Kind {
+	case mpi.MPICH, mpi.MPICH2:
+		readFile := func(name string) (string, error) {
+			if text, ok := s.World.FS[name]; ok {
+				return text, nil
+			}
+			return "", fmt.Errorf("no machine file %q in session FS", name)
+		}
+		_, plan, err = cluster.ParseMPICHMpirun(s.Spec, argv, readFile)
+		if err != nil {
+			return err
+		}
+		// The session's cluster stays authoritative: remap machine-file
+		// node indices into its bounds.
+		for i := range plan.Placements {
+			plan.Placements[i].Node %= s.Spec.NumNodes()
+		}
+	default:
+		plan, err = cluster.ParseLAMMpirun(s.Spec, argv)
+		if err != nil {
+			return err
+		}
+	}
+	return s.LaunchPlacements(plan.Program, plan.Placements, plan.Args)
+}

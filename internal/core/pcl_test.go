@@ -1,0 +1,119 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"pperf/internal/mpi"
+	"pperf/internal/pcl"
+	"pperf/internal/resource"
+	"pperf/internal/sim"
+)
+
+const pclSrc = `
+daemon pd_mpich {
+    command "paradynd";
+    flavor mpi;
+    mpi_implementation "mpich";
+}
+tunable_constant {
+    "PC_CPUThreshold" 0.2;
+    "PC_EvalIntervalMS" 250;
+}
+mdl {
+resourceList pcl_send is procedure { "MPI_Send", "PMPI_Send" };
+metric pcl_sends {
+    name "pcl_sends"; units ops; unitstype unnormalized;
+    aggregateOperator sum; style EventCounter;
+    base is counter {
+        foreach func in pcl_send { append preinsn func.entry constrained (* pcl_sends++; *) }
+    }
+}
+}
+`
+
+func TestSessionFromPCL(t *testing.T) {
+	cfg, err := pcl.Parse(pclSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts, err := OptionsFromPCL(cfg, "pd_mpich", Options{Nodes: 2, CPUsPerNode: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Impl != mpi.MPICH {
+		t.Fatalf("impl = %v", opts.Impl)
+	}
+	s := newTestSession(t, opts)
+	s.Register("pp", pingPong(60, 5*sim.Millisecond))
+	// The PCL-embedded metric is available.
+	sr := s.MustEnable("pcl_sends", resource.WholeProgram())
+	if err := s.Launch("pp", 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Total() != 60 {
+		t.Errorf("pcl_sends = %v, want 60", sr.Total())
+	}
+	ccfg := ConsultantConfigFromPCL(cfg)
+	if ccfg.CPUThreshold != 0.2 || ccfg.EvalInterval != 250*sim.Millisecond {
+		t.Errorf("consultant config = %+v", ccfg)
+	}
+}
+
+func TestOptionsFromPCLErrors(t *testing.T) {
+	cfg, _ := pcl.Parse(`daemon d { command "x"; }`)
+	if _, err := OptionsFromPCL(cfg, "missing", Options{}); err == nil {
+		t.Error("missing daemon should error")
+	}
+	if _, err := OptionsFromPCL(cfg, "d", Options{}); err == nil ||
+		!strings.Contains(err.Error(), "mpi_implementation") {
+		t.Errorf("missing attribute should error, got %v", err)
+	}
+}
+
+func TestLaunchMpirunLAMNotation(t *testing.T) {
+	s := newTestSession(t, Options{Impl: mpi.LAM, Nodes: 4, CPUsPerNode: 1})
+	nodes := map[int]bool{}
+	s.Register("spread", func(r *mpi.Rank, _ []string) {
+		nodes[r.Node()] = true
+	})
+	// The paper's n0-2,4 style notation, trimmed to this cluster.
+	if err := s.LaunchMpirun("mpirun n0-1,3 spread"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !nodes[0] || !nodes[1] || !nodes[3] || nodes[2] {
+		t.Errorf("placement nodes = %v, want 0,1,3", nodes)
+	}
+}
+
+func TestLaunchMpirunMPICHMachineFile(t *testing.T) {
+	s := newTestSession(t, Options{Impl: mpi.MPICH, Nodes: 2, CPUsPerNode: 2})
+	s.World.FS["machines"] = "hostA:2\nhostB:2\n"
+	ranks := 0
+	s.Register("mm", func(r *mpi.Rank, _ []string) { ranks++ })
+	if err := s.LaunchMpirun("mpirun -np 3 -m machines -wdir /tmp mm"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ranks != 3 {
+		t.Errorf("ranks = %d", ranks)
+	}
+}
+
+func TestLaunchMpirunErrors(t *testing.T) {
+	s := newTestSession(t, Options{Impl: mpi.LAM, Nodes: 2, CPUsPerNode: 1})
+	if err := s.LaunchMpirun("mpirun -np 99 nothing"); err == nil {
+		t.Error("oversubscribed -np should error")
+	}
+	if err := s.LaunchMpirun("mpirun -np 1 unregistered"); err == nil {
+		t.Error("unregistered program should error")
+	}
+}

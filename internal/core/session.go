@@ -1,0 +1,196 @@
+// Package core assembles the enhanced performance tool the paper describes:
+// a simulated cluster and MPI implementation, one tool daemon per node, the
+// front end with its folding histograms and resource hierarchy, the MDL
+// metric library (Table 1's RMA metrics included), and the Performance
+// Consultant. A Session is the top-level object applications, benchmarks and
+// the experiment harness drive.
+package core
+
+import (
+	"fmt"
+
+	"pperf/internal/cluster"
+	"pperf/internal/daemon"
+	"pperf/internal/frontend"
+	"pperf/internal/mdl"
+	"pperf/internal/mpi"
+	"pperf/internal/resource"
+	"pperf/internal/sim"
+)
+
+// Options configure a Session.
+type Options struct {
+	// Impl selects the MPI implementation personality (LAM, MPICH, MPICH2,
+	// Reference).
+	Impl mpi.ImplKind
+	// Nodes and CPUsPerNode describe the cluster (defaults 3×2, the paper's
+	// usual slice).
+	Nodes       int
+	CPUsPerNode int
+	// Seed drives the deterministic RNG.
+	Seed uint64
+	// Daemon configures the per-node daemons.
+	Daemon *daemon.Config
+	// NumBins/BinWidth configure front-end histograms (defaults: 1000 bins
+	// at 0.2 s, Paradyn's).
+	NumBins  int
+	BinWidth sim.Duration
+	// UserMDL is extra metric-definition source merged over the standard
+	// library.
+	UserMDL string
+	// UseTCP routes daemon traffic over a real localhost TCP socket with
+	// gob encoding instead of in-process calls.
+	UseTCP bool
+	// DiscoverTags enables the daemons' message-tag discovery
+	// instrumentation (on by default), which populates
+	// /SyncObject/Message/<comm>/<tag> resources.
+	DiscoverTags *bool
+}
+
+// Session is a live tool instance around one simulated cluster.
+type Session struct {
+	Eng     *sim.Engine
+	Spec    *cluster.Spec
+	World   *mpi.World
+	FE      *frontend.FrontEnd
+	Daemons []*daemon.Daemon
+	Lib     *mdl.Library
+
+	listener   *frontend.Listener
+	transports []*frontend.TCPTransport
+	launched   bool
+}
+
+// NewSession builds the cluster, world, front end and daemons.
+func NewSession(opts Options) (*Session, error) {
+	if opts.Nodes == 0 {
+		opts.Nodes = 3
+	}
+	if opts.CPUsPerNode == 0 {
+		opts.CPUsPerNode = 2
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 20040401
+	}
+	dcfg := daemon.DefaultConfig()
+	if opts.Daemon != nil {
+		dcfg = *opts.Daemon
+	}
+	dcfg.MPIImplName = opts.Impl.String()
+
+	lib, err := mdl.NewLibraryWithStd(opts.UserMDL)
+	if err != nil {
+		return nil, err
+	}
+
+	eng := sim.NewEngine(opts.Seed)
+	spec := cluster.DefaultSpec(opts.Nodes, opts.CPUsPerNode)
+	world := mpi.NewWorld(eng, spec, mpi.NewImpl(opts.Impl))
+
+	fe := frontend.New()
+	fe.NumBins = opts.NumBins
+	fe.BinWidth = opts.BinWidth
+
+	s := &Session{Eng: eng, Spec: spec, World: world, FE: fe, Lib: lib}
+
+	if opts.UseTCP {
+		l, err := fe.Listen("127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		s.listener = l
+	}
+
+	for node := range spec.Nodes {
+		var tr daemon.Transport = fe
+		if opts.UseTCP {
+			t, err := frontend.DialTransport(s.listener.Addr())
+			if err != nil {
+				s.Close()
+				return nil, err
+			}
+			s.transports = append(s.transports, t)
+			tr = t
+		}
+		d := daemon.New(eng, node, spec.Nodes[node].Name, lib, tr, dcfg)
+		s.Daemons = append(s.Daemons, d)
+		fe.AddDaemon(d)
+	}
+	daemon.AttachAll(world, s.Daemons)
+	if opts.DiscoverTags == nil || *opts.DiscoverTags {
+		installTagDiscovery(s)
+	}
+	return s, nil
+}
+
+// Register adds a program to the world's registry.
+func (s *Session) Register(name string, prog mpi.Program) { s.World.Register(name, prog) }
+
+// Launch starts np copies of a registered program with block placement and
+// begins daemon sampling.
+func (s *Session) Launch(prog string, np int, args []string) error {
+	if _, err := s.World.LaunchN(prog, np, args); err != nil {
+		return err
+	}
+	s.startSampling()
+	return nil
+}
+
+// LaunchPlacements starts a program on explicit placements (from mpirun
+// parsing).
+func (s *Session) LaunchPlacements(prog string, placements []cluster.Placement, args []string) error {
+	if _, err := s.World.Launch(prog, placements, args); err != nil {
+		return err
+	}
+	s.startSampling()
+	return nil
+}
+
+func (s *Session) startSampling() {
+	if s.launched {
+		return
+	}
+	s.launched = true
+	for _, d := range s.Daemons {
+		d.Start()
+	}
+}
+
+// Enable turns on a metric-focus pair and returns its series.
+func (s *Session) Enable(metricName string, focus resource.Focus) (*frontend.Series, error) {
+	return s.FE.EnableMetric(metricName, focus)
+}
+
+// MustEnable is Enable for known-good pairs (panics on error).
+func (s *Session) MustEnable(metricName string, focus resource.Focus) *frontend.Series {
+	sr, err := s.Enable(metricName, focus)
+	if err != nil {
+		panic(fmt.Sprintf("core: enable %s %s: %v", metricName, focus, err))
+	}
+	return sr
+}
+
+// Run executes the simulation to completion.
+func (s *Session) Run() error { return s.Eng.Run() }
+
+// RunFor executes the simulation for a bounded virtual duration.
+func (s *Session) RunFor(d sim.Duration) error { return s.Eng.RunFor(d) }
+
+// Close releases TCP resources (no-op for in-process transport).
+func (s *Session) Close() {
+	for _, t := range s.transports {
+		t.Close()
+	}
+	if s.listener != nil {
+		s.listener.Close()
+	}
+}
+
+// ProbeExecutions totals probe executions across daemons.
+func (s *Session) ProbeExecutions() int64 {
+	var n int64
+	for _, d := range s.Daemons {
+		n += d.ProbeExecutions()
+	}
+	return n
+}

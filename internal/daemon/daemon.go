@@ -1,0 +1,423 @@
+package daemon
+
+import (
+	"fmt"
+	"sort"
+
+	"pperf/internal/mdl"
+	"pperf/internal/metric"
+	"pperf/internal/mpi"
+	"pperf/internal/probe"
+	"pperf/internal/resource"
+	"pperf/internal/sim"
+)
+
+// Daemon is one node's tool daemon. Create one per cluster node with New,
+// wire the set into the world with Attach, then start sampling with Start.
+type Daemon struct {
+	name string
+	node int
+	eng  *sim.Engine
+	lib  *mdl.Library
+	tr   Transport
+	cfg  Config
+
+	ranks []*rankCtx
+	// enabled remembers every metric-focus enable request so processes
+	// adopted later (spawn) are instrumented too.
+	enabled []enableReq
+
+	stopped bool
+}
+
+type enableReq struct {
+	metricName string
+	focus      resource.Focus
+}
+
+// rankCtx is the daemon's per-process state; it implements mdl.Target.
+type rankCtx struct {
+	d       *Daemon
+	r       *mpi.Rank
+	modules map[string][]string // module → discovered functions
+	// edges already reported to the front end.
+	sentEdges map[[2]string]bool
+	insts     []*liveInst
+	exited    bool
+}
+
+type liveInst struct {
+	req  enableReq
+	mi   *metric.Instance
+	mdli *mdl.Instance
+}
+
+// mdl.Target implementation. The clock accessors use the engine's global
+// time so samplers observing blocked or mid-computation processes read
+// up-to-date values.
+func (rc *rankCtx) Probes() *probe.Process { return rc.r.Probes() }
+func (rc *rankCtx) FunctionsOfModule(m string) []string {
+	return append([]string(nil), rc.modules[m]...)
+}
+func (rc *rankCtx) WallNow() sim.Time       { return rc.d.eng.Now() }
+func (rc *rankCtx) CPUNow() sim.Duration    { return rc.r.CPUTimeAt(rc.d.eng.Now()) }
+func (rc *rankCtx) SystemNow() sim.Duration { return rc.r.SystemTimeAt(rc.d.eng.Now()) }
+
+// New creates the daemon for one node.
+func New(eng *sim.Engine, node int, nodeName string, lib *mdl.Library, tr Transport, cfg Config) *Daemon {
+	return &Daemon{
+		name: fmt.Sprintf("paradynd@%s", nodeName),
+		node: node,
+		eng:  eng,
+		lib:  lib,
+		tr:   tr,
+		cfg:  cfg,
+	}
+}
+
+// Name returns the daemon's identity.
+func (d *Daemon) Name() string { return d.name }
+
+// NumProcesses returns how many application processes the daemon owns.
+func (d *Daemon) NumProcesses() int { return len(d.ranks) }
+
+// AttachAll wires a set of daemons (one per node) into the world's
+// resource-discovery hooks, including spawn support with the configured
+// method. Call once before launching programs.
+func AttachAll(w *mpi.World, daemons []*Daemon) {
+	byNode := map[int]*Daemon{}
+	for _, d := range daemons {
+		byNode[d.node] = d
+		if d.cfg.Spawn == SpawnIntercept {
+			cfg := d.cfg
+			w.SpawnInterceptor = func(parent *mpi.Rank, maxprocs int) sim.Duration {
+				return sim.Duration(maxprocs) * cfg.InterceptPerProc
+			}
+		}
+	}
+	hooks := &mpi.Hooks{
+		ProcessStarted: func(r *mpi.Rank) {
+			if d := byNode[r.Node()]; d != nil {
+				d.adopt(r)
+			}
+		},
+		ProcessExited: func(r *mpi.Rank) {
+			if d := byNode[r.Node()]; d != nil {
+				d.processExited(r)
+			}
+		},
+		CommCreated: func(r *mpi.Rank, c *mpi.Comm) {
+			if d := byNode[r.Node()]; d != nil {
+				d.commCreated(c)
+			}
+		},
+		WinCreated: func(r *mpi.Rank, win *mpi.Win) {
+			if d := byNode[r.Node()]; d != nil {
+				d.winCreated(r, win)
+			}
+		},
+		WinFreed: func(r *mpi.Rank, win *mpi.Win) {
+			if d := byNode[r.Node()]; d != nil {
+				d.winFreed(win)
+			}
+		},
+		NameSet: func(r *mpi.Rank, obj any, name string) {
+			if d := byNode[r.Node()]; d != nil {
+				d.nameSet(obj, name)
+			}
+		},
+	}
+	w.AddHooks(hooks)
+}
+
+// adopt starts managing a process: resource reports, function discovery,
+// probe cost accounting, and instrumentation for already-enabled metrics.
+// With the attach spawn method, adoption of spawned processes is delayed by
+// the attach latency.
+func (d *Daemon) adopt(r *mpi.Rank) {
+	if d.cfg.Spawn == SpawnAttach && r.ParentComm() != nil {
+		at := d.eng.Now().Add(d.cfg.AttachLatency)
+		d.eng.At(at, func() { d.adoptNow(r) })
+		return
+	}
+	d.adoptNow(r)
+}
+
+func (d *Daemon) adoptNow(r *mpi.Rank) {
+	rc := &rankCtx{d: d, r: r, modules: map[string][]string{}, sentEdges: map[[2]string]bool{}}
+	d.ranks = append(d.ranks, rc)
+	r.Probes().PerProbeCost = d.cfg.PerProbeCost
+	r.Probes().OnFirstCall = func(f *probe.Function) { rc.functionDiscovered(f) }
+
+	d.tr.Update(Update{
+		Kind: UpAddResource, Time: d.eng.Now(),
+		Path: machinePath(r.NodeName(), r.Probes().Name()),
+	})
+	// Seed with functions already seen before adoption (attach method).
+	for _, f := range r.Probes().Stack() {
+		rc.functionDiscovered(f)
+	}
+	// Apply pending metric-focus enables to the new process.
+	for _, req := range d.enabled {
+		d.instrumentRank(rc, req)
+	}
+}
+
+func machinePath(node, proc string) string { return "/Machine/" + node + "/" + proc }
+
+func (rc *rankCtx) functionDiscovered(f *probe.Function) {
+	fns := rc.modules[f.Module]
+	for _, existing := range fns {
+		if existing == f.Name {
+			return
+		}
+	}
+	rc.modules[f.Module] = append(fns, f.Name)
+	rc.d.tr.Update(Update{
+		Kind: UpAddResource, Time: rc.d.eng.Now(),
+		Path: "/Code/" + f.Module + "/" + f.Name,
+	})
+	// Extend module-watching instances (module-level Code foci pick up
+	// newly discovered functions).
+	for _, li := range rc.insts {
+		if li.mdli.ModuleWatch() == f.Module {
+			li.mdli.ExtendFunction(f.Name)
+		}
+	}
+}
+
+// processExited flushes a final sample of the exiting process's instances
+// (programs shorter than a sampling interval would otherwise report nothing)
+// and reports the exit.
+func (d *Daemon) processExited(r *mpi.Rank) {
+	for _, rc := range d.ranks {
+		if rc.r == r {
+			d.sampleRank(rc)
+			rc.exited = true
+		}
+	}
+	d.tr.Update(Update{
+		Kind: UpProcessExit, Time: d.eng.Now(),
+		Proc: r.Probes().Name(),
+		Path: machinePath(r.NodeName(), r.Probes().Name()),
+	})
+}
+
+// sampleRank flushes one process's instances and call edges immediately.
+func (d *Daemon) sampleRank(rc *rankCtx) {
+	now := d.eng.Now()
+	cpu := rc.r.CPUTimeAt(now)
+	var batch []Sample
+	for _, li := range rc.insts {
+		batch = append(batch, Sample{
+			Metric: li.req.metricName,
+			Focus:  li.req.focus,
+			Proc:   rc.r.Probes().Name(),
+			Time:   now,
+			Delta:  li.mi.SampleDelta(now, cpu),
+			Value:  li.mi.SampleValue(now, cpu),
+		})
+	}
+	if len(batch) > 0 {
+		d.tr.Samples(batch)
+	}
+	rc.flushEdges(now)
+}
+
+func (rc *rankCtx) flushEdges(now sim.Time) {
+	for _, e := range rc.r.Probes().CallEdges() {
+		if !rc.sentEdges[e] {
+			rc.sentEdges[e] = true
+			rc.d.tr.Update(Update{
+				Kind: UpCallEdge, Time: now,
+				Proc: rc.r.Probes().Name(), Caller: e[0], Callee: e[1],
+			})
+		}
+	}
+}
+
+func (d *Daemon) commCreated(c *mpi.Comm) {
+	d.tr.Update(Update{
+		Kind: UpAddResource, Time: d.eng.Now(),
+		Path:    "/SyncObject/Message/" + fmt.Sprintf("comm-%d", c.ID()),
+		Display: c.Name(),
+	})
+}
+
+// winCreated reports a new RMA window resource under /SyncObject/Window,
+// with the N-M unique identifier collected at the MPI_Win_create return
+// point (§4.2.1). Only the window's rank-0 handle produces the report, to
+// avoid duplicates.
+func (d *Daemon) winCreated(r *mpi.Rank, win *mpi.Win) {
+	if win.Comm().RankOf(r) != 0 {
+		return
+	}
+	d.tr.Update(Update{
+		Kind: UpAddResource, Time: d.eng.Now(),
+		Path: "/SyncObject/Window/" + win.UniqueID(),
+	})
+	if ic := win.InternalComm(); ic != nil {
+		// LAM embeds a communicator in the window (Fig 23).
+		d.commCreated(ic)
+	}
+}
+
+func (d *Daemon) winFreed(win *mpi.Win) {
+	d.tr.Update(Update{
+		Kind: UpRetire, Time: d.eng.Now(),
+		Path: "/SyncObject/Window/" + win.UniqueID(),
+	})
+}
+
+func (d *Daemon) nameSet(obj any, name string) {
+	switch o := obj.(type) {
+	case *mpi.Comm:
+		d.tr.Update(Update{
+			Kind: UpSetName, Time: d.eng.Now(),
+			Path: "/SyncObject/Message/" + fmt.Sprintf("comm-%d", o.ID()), Display: name,
+		})
+	case *mpi.Win:
+		d.tr.Update(Update{
+			Kind: UpSetName, Time: d.eng.Now(),
+			Path: "/SyncObject/Window/" + o.UniqueID(), Display: name,
+		})
+		if ic := o.InternalComm(); ic != nil {
+			d.tr.Update(Update{
+				Kind: UpSetName, Time: d.eng.Now(),
+				Path: "/SyncObject/Message/" + fmt.Sprintf("comm-%d", ic.ID()), Display: name,
+			})
+		}
+	}
+}
+
+// Enable instruments the metric-focus pair on every owned process matching
+// the focus's Machine selection, and remembers the request for processes
+// adopted later. Returns how many processes were instrumented.
+func (d *Daemon) Enable(metricName string, focus resource.Focus) (int, error) {
+	cm := d.lib.Metric(metricName)
+	if cm == nil {
+		return 0, fmt.Errorf("daemon: unknown metric %q", metricName)
+	}
+	req := enableReq{metricName: metricName, focus: focus}
+	d.enabled = append(d.enabled, req)
+	n := 0
+	for _, rc := range d.ranks {
+		if d.instrumentRank(rc, req) {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// Disable removes the metric-focus pair's instrumentation everywhere.
+func (d *Daemon) Disable(metricName string, focus resource.Focus) {
+	key := focus.Key()
+	for i, req := range d.enabled {
+		if req.metricName == metricName && req.focus.Key() == key {
+			d.enabled = append(d.enabled[:i], d.enabled[i+1:]...)
+			break
+		}
+	}
+	for _, rc := range d.ranks {
+		kept := rc.insts[:0]
+		for _, li := range rc.insts {
+			if li.req.metricName == metricName && li.req.focus.Key() == key {
+				li.mdli.Remove()
+			} else {
+				kept = append(kept, li)
+			}
+		}
+		rc.insts = kept
+	}
+}
+
+// instrumentRank applies one enable request to one process if the focus's
+// machine selection covers it.
+func (d *Daemon) instrumentRank(rc *rankCtx, req enableReq) bool {
+	if node := req.focus.MachineNode(); node != "" && node != rc.r.NodeName() {
+		return false
+	}
+	if proc := req.focus.MachineProcess(); proc != "" && proc != rc.r.Probes().Name() {
+		return false
+	}
+	cm := d.lib.Metric(req.metricName)
+	mdli, err := cm.Instantiate(rc, req.focus)
+	if err != nil {
+		// Unconstrainable combinations are skipped silently, as Paradyn
+		// refuses such pairs in its UI.
+		return false
+	}
+	li := &liveInst{
+		req:  req,
+		mdli: mdli,
+		mi: &metric.Instance{
+			Def: cm.Def(), Focus: req.focus, Proc: rc.r.Probes().Name(), Acc: mdli.Acc,
+		},
+	}
+	rc.insts = append(rc.insts, li)
+	return true
+}
+
+// Start schedules the daemon's periodic sampling. Sampling stops when Stop
+// is called or the simulation ends.
+func (d *Daemon) Start() {
+	d.scheduleTick()
+}
+
+// Stop halts sampling.
+func (d *Daemon) Stop() { d.stopped = true }
+
+func (d *Daemon) scheduleTick() {
+	d.eng.After(d.cfg.SampleInterval, func() {
+		if d.stopped {
+			return
+		}
+		d.tick()
+		d.scheduleTick()
+	})
+}
+
+// tick samples every live instance and flushes call-graph discoveries.
+func (d *Daemon) tick() {
+	for _, rc := range d.ranks {
+		if !rc.exited {
+			d.sampleRank(rc)
+		}
+	}
+}
+
+// ProbeExecutions totals probe-handler executions across the daemon's
+// processes (overhead reporting).
+func (d *Daemon) ProbeExecutions() int64 {
+	var n int64
+	for _, rc := range d.ranks {
+		n += rc.r.Probes().Executions
+	}
+	return n
+}
+
+// Modules returns the module→functions map merged across the daemon's
+// processes (sorted), for inspection.
+func (d *Daemon) Modules() map[string][]string {
+	out := map[string][]string{}
+	for _, rc := range d.ranks {
+		for m, fns := range rc.modules {
+			out[m] = append(out[m], fns...)
+		}
+	}
+	for m, fns := range out {
+		sort.Strings(fns)
+		out[m] = dedupe(fns)
+	}
+	return out
+}
+
+func dedupe(sorted []string) []string {
+	out := sorted[:0]
+	for i, s := range sorted {
+		if i == 0 || s != sorted[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

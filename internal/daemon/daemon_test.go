@@ -1,0 +1,237 @@
+package daemon
+
+import (
+	"testing"
+
+	"pperf/internal/cluster"
+	"pperf/internal/mdl"
+	"pperf/internal/mpi"
+	"pperf/internal/resource"
+	"pperf/internal/sim"
+)
+
+// recorder captures everything a daemon forwards.
+type recorder struct {
+	samples []Sample
+	updates []Update
+}
+
+func (r *recorder) Samples(batch []Sample) { r.samples = append(r.samples, batch...) }
+func (r *recorder) Update(u Update)        { r.updates = append(r.updates, u) }
+
+// rig builds a 2-node world with one daemon per node wired to a recorder.
+func rig(t *testing.T, impl mpi.ImplKind, cfg Config) (*sim.Engine, *mpi.World, []*Daemon, *recorder) {
+	t.Helper()
+	eng := sim.NewEngine(13)
+	spec := cluster.DefaultSpec(2, 1)
+	w := mpi.NewWorld(eng, spec, mpi.NewImpl(impl))
+	rec := &recorder{}
+	var ds []*Daemon
+	for node := range spec.Nodes {
+		ds = append(ds, New(eng, node, spec.Nodes[node].Name, mdl.StdLib(), rec, cfg))
+	}
+	AttachAll(w, ds)
+	return eng, w, ds, rec
+}
+
+func pingProgram(iters int) mpi.Program {
+	return func(r *mpi.Rank, _ []string) {
+		c := r.World()
+		for i := 0; i < iters; i++ {
+			if r.Rank() == 0 {
+				r.Call("app.c", "produce", func() { r.Compute(10 * sim.Millisecond) })
+				c.Send(r, nil, 1, mpi.Byte, 1, 0)
+			} else {
+				c.Recv(r, nil, 1, mpi.Byte, 0, 0)
+			}
+		}
+	}
+}
+
+func TestDaemonAdoptsAndSamples(t *testing.T) {
+	eng, w, ds, rec := rig(t, mpi.LAM, DefaultConfig())
+	w.Register("p", pingProgram(100))
+	if _, err := w.LaunchN("p", 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds[0].Enable("msgs_sent", resource.WholeProgram()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds[1].Enable("msgs_sent", resource.WholeProgram()); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range ds {
+		d.Start()
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ds[0].NumProcesses() != 1 || ds[1].NumProcesses() != 1 {
+		t.Errorf("adoption counts: %d/%d", ds[0].NumProcesses(), ds[1].NumProcesses())
+	}
+	total := 0.0
+	for _, s := range rec.samples {
+		if s.Metric == "msgs_sent" {
+			total += s.Delta
+		}
+	}
+	if total != 100 {
+		t.Errorf("sampled msgs = %v, want 100", total)
+	}
+}
+
+func TestDaemonResourceUpdates(t *testing.T) {
+	eng, w, ds, rec := rig(t, mpi.LAM, DefaultConfig())
+	w.Register("p", pingProgram(20))
+	if _, err := w.LaunchN("p", 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range ds {
+		d.Start()
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var sawProc, sawFunc, sawEdge, sawExit bool
+	for _, u := range rec.updates {
+		switch {
+		case u.Kind == UpAddResource && u.Path == "/Machine/node0/p{0}":
+			sawProc = true
+		case u.Kind == UpAddResource && u.Path == "/Code/app.c/produce":
+			sawFunc = true
+		case u.Kind == UpCallEdge && u.Caller == "produce":
+			sawEdge = true
+		case u.Kind == UpProcessExit:
+			sawExit = true
+		}
+	}
+	if !sawProc || !sawFunc || !sawExit {
+		t.Errorf("updates missing: proc=%v func=%v exit=%v", sawProc, sawFunc, sawExit)
+	}
+	_ = sawEdge // produce has no traced callees in this program
+	mods := ds[0].Modules()
+	if len(mods["app.c"]) == 0 {
+		t.Errorf("modules = %v", mods)
+	}
+}
+
+func TestDaemonDisableRemovesProbes(t *testing.T) {
+	eng, w, ds, _ := rig(t, mpi.LAM, DefaultConfig())
+	w.Register("p", pingProgram(200))
+	if _, err := w.LaunchN("p", 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	focus := resource.WholeProgram()
+	if _, err := ds[0].Enable("msgs_sent", focus); err != nil {
+		t.Fatal(err)
+	}
+	// Disable mid-run; probe executions stop growing afterwards.
+	var at1s int64
+	eng.At(sim.Time(1*sim.Second), func() {
+		ds[0].Disable("msgs_sent", focus)
+		at1s = ds[0].ProbeExecutions()
+	})
+	for _, d := range ds {
+		d.Start()
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Only the tag-discovery-free rig runs here, so executions equal the
+	// metric's; after disable they must not grow.
+	if got := ds[0].ProbeExecutions(); got != at1s {
+		t.Errorf("probe executions grew after disable: %d → %d", at1s, got)
+	}
+}
+
+func TestDaemonEnableUnknownMetric(t *testing.T) {
+	_, _, ds, _ := rig(t, mpi.LAM, DefaultConfig())
+	if _, err := ds[0].Enable("no_such_metric", resource.WholeProgram()); err == nil {
+		t.Error("unknown metric should error")
+	}
+}
+
+func TestDaemonMachineFocusPlacement(t *testing.T) {
+	eng, w, ds, rec := rig(t, mpi.LAM, DefaultConfig())
+	w.Register("p", pingProgram(50))
+	if _, err := w.LaunchN("p", 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Focus restricted to node1: only p{1} gets instrumented.
+	focus := resource.WholeProgram().WithMachine("/Machine/node1/p{1}")
+	for _, d := range ds {
+		if _, err := d.Enable("msgs_recv", focus); err != nil {
+			t.Fatal(err)
+		}
+		d.Start()
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range rec.samples {
+		if s.Proc != "p{1}" {
+			t.Errorf("sample from %s leaked through machine focus", s.Proc)
+		}
+	}
+}
+
+func TestSpawnAttachDelaysAdoption(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Spawn = SpawnAttach
+	cfg.AttachLatency = 50 * sim.Millisecond
+	eng, w, ds, _ := rig(t, mpi.LAM, cfg)
+	w.Register("child", func(r *mpi.Rank, _ []string) { r.Compute(200 * sim.Millisecond) })
+	w.Register("p", func(r *mpi.Rank, _ []string) {
+		if _, err := r.World().Spawn(r, "child", nil, 2, nil, 0); err != nil {
+			t.Error(err)
+		}
+	})
+	if _, err := w.LaunchN("p", 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range ds {
+		d.Start()
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, d := range ds {
+		total += d.NumProcesses()
+	}
+	if total != 3 { // parent + 2 children eventually adopted
+		t.Errorf("adopted %d processes, want 3", total)
+	}
+}
+
+func TestModuleWatchExtendsInstrumentation(t *testing.T) {
+	// A module-level Code focus must pick up functions discovered after the
+	// metric was enabled.
+	eng, w, ds, rec := rig(t, mpi.LAM, DefaultConfig())
+	w.Register("p", func(r *mpi.Rank, _ []string) {
+		r.Call("late.c", "early", func() { r.Compute(300 * sim.Millisecond) })
+		r.Call("late.c", "late", func() { r.Compute(300 * sim.Millisecond) })
+	})
+	if _, err := w.LaunchN("p", 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	focus := resource.WholeProgram().WithCode("/Code/late.c")
+	if _, err := ds[0].Enable("cpu_inclusive", focus); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range ds {
+		d.Start()
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	cpu := 0.0
+	for _, s := range rec.samples {
+		if s.Metric == "cpu_inclusive" {
+			cpu += s.Delta
+		}
+	}
+	if cpu < 0.55 { // both functions' compute, not just the first
+		t.Errorf("module cpu = %v, want ≈0.6 (both functions)", cpu)
+	}
+}

@@ -1,0 +1,102 @@
+// Package daemon implements the tool's per-node daemon (paradynd in the
+// paper): it owns the application processes on its node, inserts and deletes
+// instrumentation on request, samples metric values on a fixed cadence,
+// discovers resources at run time (processes, functions, communicators, RMA
+// windows, spawned children), and forwards everything to the front end over
+// a transport. A daemon definition carries the MPI implementation attribute
+// that §4.1 adds for non-shared-filesystem starts.
+package daemon
+
+import (
+	"pperf/internal/resource"
+	"pperf/internal/sim"
+)
+
+// Sample is one sampled metric delta for one process.
+type Sample struct {
+	Metric string
+	Focus  resource.Focus
+	Proc   string
+	Time   sim.Time
+	Delta  float64
+	Value  float64 // cumulative value, for SampledFunction-style reads
+}
+
+// UpdateKind enumerates resource-update reports (§4.2.3).
+type UpdateKind int
+
+const (
+	// UpAddResource announces a new resource at Path.
+	UpAddResource UpdateKind = iota
+	// UpRetire marks the resource at Path deallocated.
+	UpRetire
+	// UpSetName attaches a user-friendly display name to Path.
+	UpSetName
+	// UpCallEdge reports an observed caller→callee pair.
+	UpCallEdge
+	// UpProcessExit reports that the process named Proc finished.
+	UpProcessExit
+)
+
+// Update is a resource-update report from daemon to front end.
+type Update struct {
+	Kind           UpdateKind
+	Path           string
+	Display        string
+	Proc           string
+	Caller, Callee string
+	Time           sim.Time
+}
+
+// Transport carries daemon reports to the front end. The in-process
+// implementation calls the front end directly; the TCP implementation gob-
+// encodes over a socket.
+type Transport interface {
+	Samples(batch []Sample)
+	Update(u Update)
+}
+
+// SpawnMethod selects how the tool supports MPI_Comm_spawn (§4.2.2).
+type SpawnMethod int
+
+const (
+	// SpawnIntercept wraps MPI_Comm_spawn via the PMPI interface, starting
+	// a tool daemon per child: simple, but inflates the measured cost of
+	// the spawn operation.
+	SpawnIntercept SpawnMethod = iota
+	// SpawnAttach lets the spawn proceed untouched and attaches to the new
+	// processes afterwards using MPIR-proctable-style information: lower
+	// overhead, but instrumentation starts late.
+	SpawnAttach
+)
+
+// Config controls daemon behaviour.
+type Config struct {
+	// SampleInterval is the metric sampling cadence (default 0.2 s, the
+	// histogram's base granularity).
+	SampleInterval sim.Duration
+	// PerProbeCost is the virtual-time cost charged per probe execution.
+	PerProbeCost sim.Duration
+	// Spawn selects the dynamic-process-creation support method.
+	Spawn SpawnMethod
+	// AttachLatency is how long after a spawn the attach method takes to
+	// reach the new processes (during which their activity is unobserved).
+	AttachLatency sim.Duration
+	// InterceptPerProc is the daemon-startup overhead the intercept method
+	// adds to each spawned process.
+	InterceptPerProc sim.Duration
+	// MPIImplName is the daemon-definition attribute naming the MPI
+	// implementation (LAM or MPICH), required on non-shared filesystems.
+	MPIImplName string
+}
+
+// DefaultConfig returns the standard daemon configuration.
+func DefaultConfig() Config {
+	return Config{
+		SampleInterval:   200 * sim.Millisecond,
+		PerProbeCost:     80 * sim.Nanosecond,
+		Spawn:            SpawnIntercept,
+		AttachLatency:    25 * sim.Millisecond,
+		InterceptPerProc: 40 * sim.Millisecond,
+	}
+}

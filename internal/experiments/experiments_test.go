@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"table1", "table2", "table3",
+		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"fig9", "fig10", "fig11", "fig12", "fig14", "fig15", "fig16",
+		"fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "fig23",
+		"fig24", "presta", "extensions"}
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if _, err := Run("nope"); err == nil {
+		t.Error("unknown id should error")
+	}
+}
+
+// runExp asserts one experiment reproduces the paper's shape.
+func runExp(t *testing.T, id string) *Result {
+	t.Helper()
+	res, err := Run(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Errorf("%s did not reproduce: %v", id, res.Notes)
+	}
+	if res.Measured == "" || res.Output == "" {
+		t.Errorf("%s missing measured/output", id)
+	}
+	return res
+}
+
+func TestTable1(t *testing.T) { runExp(t, "table1") }
+func TestFig1(t *testing.T)   { runExp(t, "fig1") }
+func TestFig2(t *testing.T)   { runExp(t, "fig2") }
+
+func TestFig4ByteEstimate(t *testing.T) {
+	res := runExp(t, "fig4")
+	// The estimate characteristically undershoots slightly (end-bin
+	// elimination), as the paper's 199.3M-of-200M does.
+	if !strings.Contains(res.Measured, "estimate") {
+		t.Errorf("measured = %q", res.Measured)
+	}
+}
+
+func TestFig12Jumpshot(t *testing.T)  { runExp(t, "fig12") }
+func TestFig15CPUShares(t *testing.T) { runExp(t, "fig15") }
+func TestFig17Preview(t *testing.T)   { runExp(t, "fig17") }
+func TestFig19Gprof(t *testing.T)     { runExp(t, "fig19") }
+
+func TestRenderShape(t *testing.T) {
+	res := runExp(t, "fig2")
+	out := res.Render()
+	for _, want := range []string{"FIG2", "REPRODUCED", "paper:", "measured:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

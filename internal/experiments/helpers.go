@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"pperf/internal/cluster"
+	"pperf/internal/consultant"
+	"pperf/internal/mpi"
+	"pperf/internal/pperfmark"
+)
+
+// clusterSpec builds an n-rank paper-style layout (two ranks per node).
+func clusterSpec(n int) *cluster.Spec {
+	nodes := (n + 1) / 2
+	if nodes < 2 {
+		nodes = 2
+	}
+	return cluster.DefaultSpec(nodes, 2)
+}
+
+// runSuite executes one PPerfMark program under the full tool, panicking on
+// harness errors (experiments are regeneration scripts, not servers).
+func runSuite(name string, impl mpi.ImplKind, opt pperfmark.RunOptions) *pperfmark.Result {
+	opt.Impl = impl
+	res, err := pperfmark.Run(name, opt)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %s/%s: %v", name, impl, err))
+	}
+	return res
+}
+
+// pcSideBySide renders two implementations' condensed Performance Consultant
+// outputs next to each other, the form the paper's PC figures take.
+func pcSideBySide(left, right *pperfmark.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "--- %s ---\n%s", left.Impl, left.PC.Render())
+	fmt.Fprintf(&b, "--- %s ---\n%s", right.Impl, right.PC.Render())
+	return b.String()
+}
+
+// hasSync/hasCPU are finding probes on a result.
+func hasSync(res *pperfmark.Result, substr string) bool {
+	return res.PC.HasFinding(consultant.HypSync, substr)
+}
+
+func hasCPU(res *pperfmark.Result, substr string) bool {
+	return res.PC.HasFinding(consultant.HypCPU, substr)
+}
+
+// pct formats a fraction as a percentage.
+func pct(v float64) string { return fmt.Sprintf("%.0f%%", v*100) }

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"pperf/internal/mdl"
+	"pperf/internal/mpi"
+	"pperf/internal/pperfmark"
+)
+
+func init() {
+	register("table1", table1)
+	register("table2", table2)
+	register("table3", table3)
+}
+
+// table1 verifies that every RMA metric of the paper's Table 1 exists in the
+// standard library with the right kind of definition.
+func table1() *Result {
+	r := &Result{
+		ID:    "table1",
+		Title: "RMA metric definitions",
+		Paper: "12 RMA metrics: op counts, byte counts, active/passive/general sync wait, sync ops",
+		OK:    true,
+	}
+	lib := mdl.StdLib()
+	rows := []struct {
+		name  string
+		units string
+	}{
+		{"rma_put_ops", "ops"}, {"rma_get_ops", "ops"}, {"rma_acc_ops", "ops"},
+		{"rma_ops", "ops"},
+		{"rma_put_bytes", "bytes"}, {"rma_get_bytes", "bytes"},
+		{"rma_acc_bytes", "bytes"}, {"rma_bytes", "bytes"},
+		{"at_rma_sync_wait", "CPUs"}, {"pt_rma_sync_wait", "CPUs"},
+		{"rma_sync_wait", "CPUs"}, {"rma_sync_ops", "ops"},
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %s\n", "Metric", "Units")
+	found := 0
+	for _, row := range rows {
+		m := lib.Metric(row.name)
+		r.ok(m != nil, "metric %s missing", row.name)
+		if m != nil {
+			found++
+			r.ok(m.Def().Units == row.units, "metric %s units %q, want %q", row.name, m.Def().Units, row.units)
+			fmt.Fprintf(&b, "%-20s %s\n", row.name, m.Def().Units)
+		}
+	}
+	r.Measured = fmt.Sprintf("%d/12 Table-1 metrics compiled from MDL", found)
+	r.Output = b.String()
+	return r
+}
+
+// table2 reruns the MPI-1 suite under LAM and MPICH.
+func table2() *Result {
+	r := &Result{
+		ID:    "table2",
+		Title: "PPerfMark MPI-1 results",
+		Paper: "Pass for all programs except system-time (Fail: no system-time metrics)",
+		OK:    true,
+	}
+	rows := pperfmark.RunTable(false, []mpi.ImplKind{mpi.LAM, mpi.MPICH}, pperfmark.RunOptions{})
+	pass, fail := 0, 0
+	for _, row := range rows {
+		if row.Err != nil {
+			r.ok(false, "run error: %v", row.Err)
+			continue
+		}
+		if row.Verdict.Pass {
+			pass++
+		} else {
+			fail++
+			r.ok(false, "%s/%s: %v", row.Verdict.Program, row.Verdict.Impl, row.Verdict.Problems)
+		}
+	}
+	r.Measured = fmt.Sprintf("%d rows as the paper reports, %d mismatched", pass, fail)
+	r.Output = pperfmark.RenderTable("Table 2: PPerfMark MPI-1 program results", rows)
+	return r
+}
+
+// table3 reruns the MPI-2 suite under LAM and MPICH2.
+func table3() *Result {
+	r := &Result{
+		ID:    "table3",
+		Title: "PPerfMark MPI-2 results",
+		Paper: "Pass for all programs (spawn programs under LAM only)",
+		OK:    true,
+	}
+	rows := pperfmark.RunTable(true, []mpi.ImplKind{mpi.LAM, mpi.MPICH2}, pperfmark.RunOptions{})
+	pass, skip := 0, 0
+	for _, row := range rows {
+		if row.Err != nil {
+			r.ok(false, "run error: %v", row.Err)
+			continue
+		}
+		switch {
+		case row.Verdict.Skipped != "":
+			skip++
+		case row.Verdict.Pass:
+			pass++
+		default:
+			r.ok(false, "%s/%s: %v", row.Verdict.Program, row.Verdict.Impl, row.Verdict.Problems)
+		}
+	}
+	r.Measured = fmt.Sprintf("%d rows reproduced, %d skipped (MPICH2 lacks spawn, as in the paper)", pass, skip)
+	r.Output = pperfmark.RenderTable("Table 3: PPerfMark MPI-2 program results", rows)
+	return r
+}

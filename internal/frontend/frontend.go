@@ -1,0 +1,329 @@
+// Package frontend implements the tool's front-end process: it aggregates
+// the samples the per-node daemons forward into folding histograms, mirrors
+// the dynamically discovered resource hierarchy (including user-friendly
+// names and retirement), maintains the observed call graph, and serves
+// queries for visualization and for the Performance Consultant's search.
+package frontend
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"pperf/internal/daemon"
+	"pperf/internal/metric"
+	"pperf/internal/resource"
+	"pperf/internal/sim"
+)
+
+// ProcInfo is what the front end knows about one application process.
+type ProcInfo struct {
+	Name    string
+	Node    string
+	Started sim.Time
+	Exited  bool
+	EndTime sim.Time
+}
+
+// FrontEnd is the tool's central state. It implements daemon.Transport for
+// the in-process connection; the TCP transport delivers into the same
+// methods.
+type FrontEnd struct {
+	mu      sync.Mutex
+	hier    *resource.Hierarchy
+	daemons []*daemon.Daemon
+	series  map[string]*Series
+	edges   map[string]map[string]bool
+	callees map[string]bool
+	procs   map[string]*ProcInfo
+
+	// NumBins/BinWidth configure new histograms (defaults are Paradyn's).
+	NumBins  int
+	BinWidth sim.Duration
+}
+
+// New creates an empty front end.
+func New() *FrontEnd {
+	return &FrontEnd{
+		hier:    resource.New(),
+		series:  map[string]*Series{},
+		edges:   map[string]map[string]bool{},
+		callees: map[string]bool{},
+		procs:   map[string]*ProcInfo{},
+	}
+}
+
+// AddDaemon registers a daemon the front end controls.
+func (fe *FrontEnd) AddDaemon(d *daemon.Daemon) {
+	fe.daemons = append(fe.daemons, d)
+}
+
+// Series is the collected data of one enabled metric-focus pair: the
+// aggregated histogram plus per-process histograms.
+type Series struct {
+	Metric  string
+	Def     *metric.Def
+	Focus   resource.Focus
+	agg     *metric.Histogram
+	perProc map[string]*metric.Histogram
+	fe      *FrontEnd
+	lastT   sim.Time
+}
+
+// LastSampleTime returns the time of the newest ingested sample, so
+// consumers can align rate computations with actual data coverage.
+func (s *Series) LastSampleTime() sim.Time { return s.lastT }
+
+// Histogram returns the focus-aggregated histogram.
+func (s *Series) Histogram() *metric.Histogram { return s.agg }
+
+// ProcHistogram returns one process's histogram (nil if that process never
+// reported).
+func (s *Series) ProcHistogram(proc string) *metric.Histogram { return s.perProc[proc] }
+
+// Procs lists the processes that have reported samples, sorted.
+func (s *Series) Procs() []string {
+	out := make([]string, 0, len(s.perProc))
+	for p := range s.perProc {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Total returns the cumulative metric value across all samples.
+func (s *Series) Total() float64 { return s.agg.Total() }
+
+func seriesKey(m string, f resource.Focus) string { return m + "\x00" + f.Key() }
+
+// EnableMetric turns on a metric-focus pair across all daemons, returning
+// its (possibly pre-existing) series.
+func (fe *FrontEnd) EnableMetric(metricName string, focus resource.Focus) (*Series, error) {
+	fe.mu.Lock()
+	if s, ok := fe.series[seriesKey(metricName, focus)]; ok {
+		fe.mu.Unlock()
+		return s, nil
+	}
+	s := &Series{
+		Metric:  metricName,
+		Focus:   focus,
+		agg:     metric.NewHistogram(fe.NumBins, fe.BinWidth),
+		perProc: map[string]*metric.Histogram{},
+		fe:      fe,
+	}
+	fe.series[seriesKey(metricName, focus)] = s
+	fe.mu.Unlock()
+
+	n := 0
+	var firstErr error
+	for _, d := range fe.daemons {
+		k, err := d.Enable(metricName, focus)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		n += k
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	_ = n
+	return s, nil
+}
+
+// DisableMetric removes a metric-focus pair's instrumentation. The
+// collected series remains queryable.
+func (fe *FrontEnd) DisableMetric(metricName string, focus resource.Focus) {
+	for _, d := range fe.daemons {
+		d.Disable(metricName, focus)
+	}
+}
+
+// Series returns the series for a metric-focus pair, or nil.
+func (fe *FrontEnd) Series(metricName string, focus resource.Focus) *Series {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	return fe.series[seriesKey(metricName, focus)]
+}
+
+// --- daemon.Transport implementation --------------------------------------
+
+// Samples ingests a batch of sampled deltas.
+func (fe *FrontEnd) Samples(batch []daemon.Sample) {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	for _, sm := range batch {
+		s, ok := fe.series[seriesKey(sm.Metric, sm.Focus)]
+		if !ok {
+			continue // disabled while in flight
+		}
+		s.agg.Add(sm.Time, sm.Delta)
+		if sm.Time > s.lastT {
+			s.lastT = sm.Time
+		}
+		ph, ok := s.perProc[sm.Proc]
+		if !ok {
+			ph = metric.NewHistogram(fe.NumBins, fe.BinWidth)
+			s.perProc[sm.Proc] = ph
+		}
+		ph.Add(sm.Time, sm.Delta)
+	}
+}
+
+// Update ingests a resource-update report.
+func (fe *FrontEnd) Update(u daemon.Update) {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	switch u.Kind {
+	case daemon.UpAddResource:
+		n := fe.hier.AddPath(u.Path)
+		if u.Display != "" {
+			n.SetDisplayName(u.Display)
+		}
+		if strings.HasPrefix(u.Path, "/Machine/") {
+			parts := strings.Split(strings.TrimPrefix(u.Path, "/Machine/"), "/")
+			if len(parts) == 2 {
+				if _, ok := fe.procs[parts[1]]; !ok {
+					fe.procs[parts[1]] = &ProcInfo{Name: parts[1], Node: parts[0], Started: u.Time}
+				}
+			}
+		}
+	case daemon.UpRetire:
+		if n := fe.hier.FindPath(u.Path); n != nil {
+			n.Retire()
+		}
+	case daemon.UpSetName:
+		fe.hier.AddPath(u.Path).SetDisplayName(u.Display)
+	case daemon.UpCallEdge:
+		m, ok := fe.edges[u.Caller]
+		if !ok {
+			m = map[string]bool{}
+			fe.edges[u.Caller] = m
+		}
+		m[u.Callee] = true
+		fe.callees[u.Callee] = true
+	case daemon.UpProcessExit:
+		if p, ok := fe.procs[u.Proc]; ok {
+			p.Exited = true
+			p.EndTime = u.Time
+		}
+		if n := fe.hier.FindPath(u.Path); n != nil {
+			n.Retire() // exited processes gray out and leave the PC's candidate set
+		}
+	}
+}
+
+// --- queries ----------------------------------------------------------------
+
+// Hierarchy returns the front end's resource-hierarchy mirror.
+func (fe *FrontEnd) Hierarchy() *resource.Hierarchy { return fe.hier }
+
+// Callees returns the observed callees of a function, sorted.
+func (fe *FrontEnd) Callees(caller string) []string {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	var out []string
+	for c := range fe.edges[caller] {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsCallee reports whether the function has been observed as someone's
+// callee. Functions that never appear as callees are the program's
+// call-graph roots — the entry points of the Performance Consultant's
+// code-axis search.
+func (fe *FrontEnd) IsCallee(fname string) bool {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	return fe.callees[fname]
+}
+
+// Processes returns known processes sorted by name.
+func (fe *FrontEnd) Processes() []*ProcInfo {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	out := make([]*ProcInfo, 0, len(fe.procs))
+	for _, p := range fe.procs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// LiveProcessCount returns the number of processes that have not exited.
+func (fe *FrontEnd) LiveProcessCount() int {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	n := 0
+	for _, p := range fe.procs {
+		if !p.Exited {
+			n++
+		}
+	}
+	return n
+}
+
+// ProcessCount returns the number of processes ever seen.
+func (fe *FrontEnd) ProcessCount() int {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	return len(fe.procs)
+}
+
+// ExportCSV writes the series' per-bin data — time, aggregate value, and one
+// column per process — the way the paper's authors exported Paradyn's
+// histogram data to compute byte totals and averages (§5.1.2 etc.).
+func (fe *FrontEnd) ExportCSV(s *Series) string {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	procs := make([]string, 0, len(s.perProc))
+	for p := range s.perProc {
+		procs = append(procs, p)
+	}
+	sort.Strings(procs)
+	var b strings.Builder
+	b.WriteString("bin_start_s,all")
+	for _, p := range procs {
+		b.WriteString("," + p)
+	}
+	b.WriteByte('\n')
+	width := s.agg.BinWidth().Seconds()
+	for i := 0; i < s.agg.NumFilled(); i++ {
+		fmt.Fprintf(&b, "%.3f,%g", float64(i)*width, s.agg.Bin(i))
+		for _, p := range procs {
+			ph := s.perProc[p]
+			// Per-process histograms can fold at different times; export
+			// the value at the aggregate's bin granularity.
+			v := 0.0
+			if ph.BinWidth() == s.agg.BinWidth() {
+				v = ph.Bin(i)
+			} else {
+				// Re-bin: sum the process bins covering this interval.
+				ratio := float64(s.agg.BinWidth()) / float64(ph.BinWidth())
+				lo := int(float64(i) * ratio)
+				hi := int(float64(i+1) * ratio)
+				for j := lo; j < hi; j++ {
+					v += ph.Bin(j)
+				}
+			}
+			fmt.Fprintf(&b, ",%g", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderSeries draws a series as text: the aggregate sparkline plus per-
+// process lines — the stand-in for Paradyn's histogram visualizations.
+func (fe *FrontEnd) RenderSeries(s *Series, width int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s\n", s.Metric, s.Focus)
+	fmt.Fprintf(&b, "  all: |%s| total=%.6g (bin %v)\n", s.agg.Render(width), s.agg.Total(), s.agg.BinWidth())
+	for _, p := range s.Procs() {
+		h := s.perProc[p]
+		fmt.Fprintf(&b, "  %-16s |%s| total=%.6g\n", p+":", h.Render(width), h.Total())
+	}
+	return b.String()
+}

@@ -1,0 +1,114 @@
+package frontend
+
+import (
+	"strings"
+	"testing"
+
+	"pperf/internal/daemon"
+	"pperf/internal/metric"
+	"pperf/internal/resource"
+	"pperf/internal/sim"
+)
+
+// metricHistogram/newH keep the white-box test setup terse.
+type metricHistogram = metric.Histogram
+
+func newH(fe *FrontEnd) *metric.Histogram {
+	return metric.NewHistogram(fe.NumBins, fe.BinWidth)
+}
+
+func sample(metric string, f resource.Focus, proc string, t sim.Time, delta float64) daemon.Sample {
+	return daemon.Sample{Metric: metric, Focus: f, Proc: proc, Time: t, Delta: delta}
+}
+
+func TestSamplesAggregateAndPerProc(t *testing.T) {
+	fe := New()
+	f := resource.WholeProgram()
+	s := &Series{Metric: "m", Focus: f, agg: newH(fe), perProc: map[string]*hist{}, fe: fe}
+	_ = s
+	// Use the public path: create the series via the series map directly.
+	fe.series[seriesKey("m", f)] = &Series{
+		Metric: "m", Focus: f, agg: newH(fe), perProc: map[string]*hist{}, fe: fe,
+	}
+	fe.Samples([]daemon.Sample{
+		sample("m", f, "p0", sim.Time(1*sim.Second), 5),
+		sample("m", f, "p1", sim.Time(1*sim.Second), 3),
+		sample("m", f, "p0", sim.Time(2*sim.Second), 2),
+	})
+	sr := fe.Series("m", f)
+	if sr.Total() != 10 {
+		t.Errorf("aggregate total = %v", sr.Total())
+	}
+	if sr.ProcHistogram("p0").Total() != 7 || sr.ProcHistogram("p1").Total() != 3 {
+		t.Errorf("per-proc totals wrong")
+	}
+	if got := sr.Procs(); len(got) != 2 || got[0] != "p0" {
+		t.Errorf("procs = %v", got)
+	}
+	if sr.LastSampleTime() != sim.Time(2*sim.Second) {
+		t.Errorf("last sample = %v", sr.LastSampleTime())
+	}
+	// Samples for an unknown series are dropped harmlessly.
+	fe.Samples([]daemon.Sample{sample("ghost", f, "p0", 0, 1)})
+}
+
+// hist/newH aliases keep test setup terse.
+type hist = metricHistogram
+
+func TestUpdatesBuildHierarchy(t *testing.T) {
+	fe := New()
+	fe.Update(daemon.Update{Kind: daemon.UpAddResource, Path: "/Machine/node0/p0", Time: 1})
+	fe.Update(daemon.Update{Kind: daemon.UpAddResource, Path: "/SyncObject/Window/0-1"})
+	fe.Update(daemon.Update{Kind: daemon.UpSetName, Path: "/SyncObject/Window/0-1", Display: "MyWin"})
+	fe.Update(daemon.Update{Kind: daemon.UpRetire, Path: "/SyncObject/Window/0-1"})
+	fe.Update(daemon.Update{Kind: daemon.UpCallEdge, Caller: "a", Callee: "b"})
+	fe.Update(daemon.Update{Kind: daemon.UpCallEdge, Caller: "a", Callee: "c"})
+	fe.Update(daemon.Update{Kind: daemon.UpProcessExit, Proc: "p0", Path: "/Machine/node0/p0", Time: 9})
+
+	n := fe.Hierarchy().FindPath("/SyncObject/Window/0-1")
+	if n == nil || n.DisplayName() != "MyWin" || !n.Retired() {
+		t.Errorf("window node: %+v", n)
+	}
+	if got := fe.Callees("a"); len(got) != 2 || got[0] != "b" {
+		t.Errorf("callees = %v", got)
+	}
+	if !fe.IsCallee("b") || fe.IsCallee("a") {
+		t.Error("callee classification wrong")
+	}
+	procs := fe.Processes()
+	if len(procs) != 1 || !procs[0].Exited || procs[0].Node != "node0" {
+		t.Errorf("procs = %+v", procs[0])
+	}
+	if fe.LiveProcessCount() != 0 || fe.ProcessCount() != 1 {
+		t.Error("process counts wrong")
+	}
+	if !fe.Hierarchy().FindPath("/Machine/node0/p0").Retired() {
+		t.Error("exited process should retire its machine node")
+	}
+}
+
+func TestExportCSV(t *testing.T) {
+	fe := New()
+	f := resource.WholeProgram()
+	fe.series[seriesKey("m", f)] = &Series{
+		Metric: "m", Focus: f, agg: newH(fe), perProc: map[string]*hist{}, fe: fe,
+	}
+	fe.Samples([]daemon.Sample{
+		sample("m", f, "p0", sim.Time(100*sim.Millisecond), 4),
+		sample("m", f, "p1", sim.Time(300*sim.Millisecond), 6),
+	})
+	csv := fe.ExportCSV(fe.Series("m", f))
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if lines[0] != "bin_start_s,all,p0,p1" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) < 3 {
+		t.Fatalf("csv:\n%s", csv)
+	}
+	if !strings.HasPrefix(lines[1], "0.000,4,4,0") {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "0.200,6,0,6") {
+		t.Errorf("row 2 = %q", lines[2])
+	}
+}

@@ -1,0 +1,126 @@
+package frontend
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"pperf/internal/daemon"
+)
+
+// The TCP transport carries daemon reports to the front end over a real
+// socket with gob encoding — the shape of a deployment where daemons run on
+// cluster nodes and the front end on the user's workstation. Each message is
+// acknowledged before the daemon proceeds, so delivery order (and therefore
+// front-end state) stays deterministic even though the listener runs on its
+// own goroutine.
+
+// wireMsg is the single message frame exchanged on the wire.
+type wireMsg struct {
+	Samples []daemon.Sample
+	Update  *daemon.Update
+}
+
+// Listener accepts daemon connections for a front end.
+type Listener struct {
+	fe *FrontEnd
+	ln net.Listener
+	wg sync.WaitGroup
+}
+
+// Listen starts a TCP listener feeding the front end. Use addr "127.0.0.1:0"
+// to pick a free port; Addr reports the chosen address.
+func (fe *FrontEnd) Listen(addr string) (*Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("frontend: listen: %w", err)
+	}
+	l := &Listener{fe: fe, ln: ln}
+	l.wg.Add(1)
+	go l.acceptLoop()
+	return l, nil
+}
+
+// Addr returns the listening address.
+func (l *Listener) Addr() string { return l.ln.Addr().String() }
+
+// Close stops accepting and waits for connection handlers to finish.
+func (l *Listener) Close() error {
+	err := l.ln.Close()
+	l.wg.Wait()
+	return err
+}
+
+func (l *Listener) acceptLoop() {
+	defer l.wg.Done()
+	for {
+		conn, err := l.ln.Accept()
+		if err != nil {
+			return
+		}
+		l.wg.Add(1)
+		go func() {
+			defer l.wg.Done()
+			l.handle(conn)
+		}()
+	}
+}
+
+func (l *Listener) handle(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var msg wireMsg
+		if err := dec.Decode(&msg); err != nil {
+			return
+		}
+		if msg.Samples != nil {
+			l.fe.Samples(msg.Samples)
+		}
+		if msg.Update != nil {
+			l.fe.Update(*msg.Update)
+		}
+		if err := enc.Encode(true); err != nil { // ack
+			return
+		}
+	}
+}
+
+// TCPTransport is the daemon-side transport: it gob-encodes each report and
+// waits for the front end's acknowledgement.
+type TCPTransport struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// DialTransport connects a daemon-side transport to a front-end listener.
+func DialTransport(addr string) (*TCPTransport, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("frontend: dial: %w", err)
+	}
+	return &TCPTransport{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+// Close shuts the connection.
+func (t *TCPTransport) Close() error { return t.conn.Close() }
+
+func (t *TCPTransport) send(msg wireMsg) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.enc.Encode(msg); err != nil {
+		return
+	}
+	var ack bool
+	_ = t.dec.Decode(&ack)
+}
+
+// Samples implements daemon.Transport.
+func (t *TCPTransport) Samples(batch []daemon.Sample) { t.send(wireMsg{Samples: batch}) }
+
+// Update implements daemon.Transport.
+func (t *TCPTransport) Update(u daemon.Update) { t.send(wireMsg{Update: &u}) }

@@ -1,0 +1,102 @@
+package gprofsim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"pperf/internal/cluster"
+	"pperf/internal/mpi"
+	"pperf/internal/sim"
+)
+
+func profile(t *testing.T, prog mpi.Program) *Profile {
+	t.Helper()
+	eng := sim.NewEngine(9)
+	w := mpi.NewWorld(eng, cluster.DefaultSpec(1, 1), mpi.NewImpl(mpi.LAM))
+	p := Attach(w)
+	w.Register("main", prog)
+	if _, err := w.LaunchN("main", 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return p.Snapshot()
+}
+
+func TestHotProcedureProfileShape(t *testing.T) {
+	// Fig 19: bottleneckProcedure consumes ~100% of the program's time;
+	// the irrelevantProcedures take ~0 µs/call despite equal call counts.
+	prof := profile(t, func(r *mpi.Rank, _ []string) {
+		for i := 0; i < 200; i++ {
+			r.Call("hot.c", "bottleneckProcedure", func() { r.Compute(10 * sim.Millisecond) })
+			for k := 0; k < 12; k++ {
+				r.Call("hot.c", fmt.Sprintf("irrelevantProcedure%d", k), func() {
+					r.Compute(10 * sim.Microsecond)
+				})
+			}
+		}
+	})
+	if prof.Funcs[0].Name != "bottleneckProcedure" {
+		t.Fatalf("top function = %s", prof.Funcs[0].Name)
+	}
+	if pct := prof.Percent("bottleneckProcedure"); pct < 95 {
+		t.Errorf("bottleneckProcedure = %.1f%%, want ≈100%%", pct)
+	}
+	if prof.Funcs[0].Calls != 200 {
+		t.Errorf("calls = %d", prof.Funcs[0].Calls)
+	}
+	// Equal call counts for the irrelevant procedures.
+	for _, f := range prof.Funcs[1:] {
+		if strings.HasPrefix(f.Name, "irrelevantProcedure") && f.Calls != 200 {
+			t.Errorf("%s calls = %d, want 200", f.Name, f.Calls)
+		}
+	}
+}
+
+func TestSelfTimeExcludesCallees(t *testing.T) {
+	prof := profile(t, func(r *mpi.Rank, _ []string) {
+		r.Call("a.c", "outer", func() {
+			r.Compute(100 * sim.Millisecond)
+			r.Call("a.c", "inner", func() { r.Compute(900 * sim.Millisecond) })
+		})
+	})
+	if prof.Funcs[0].Name != "inner" {
+		t.Fatalf("top = %s (self time must exclude callees)", prof.Funcs[0].Name)
+	}
+	outer := prof.Percent("outer")
+	if outer > 15 {
+		t.Errorf("outer self = %.1f%%, want ≈10%%", outer)
+	}
+}
+
+func TestRenderGprofFormat(t *testing.T) {
+	prof := profile(t, func(r *mpi.Rank, _ []string) {
+		r.Call("x.c", "f", func() { r.Compute(50 * sim.Millisecond) })
+	})
+	out := prof.Render()
+	if !strings.Contains(out, "us/call") || !strings.Contains(out, "  f") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestRecursionDoesNotPanic(t *testing.T) {
+	prof := profile(t, func(r *mpi.Rank, _ []string) {
+		var rec func(depth int)
+		rec = func(depth int) {
+			r.Call("r.c", "recur", func() {
+				r.Compute(time1ms)
+				if depth > 0 {
+					rec(depth - 1)
+				}
+			})
+		}
+		rec(5)
+	})
+	if prof.Percent("recur") < 90 {
+		t.Errorf("recursive self = %.1f%%", prof.Percent("recur"))
+	}
+}
+
+const time1ms = 1 * sim.Millisecond

@@ -1,0 +1,145 @@
+package mdl
+
+import "pperf/internal/probe"
+
+// File is a parsed MDL source: declarations in order.
+type File struct {
+	ResourceLists []*ResourceListDecl
+	Constraints   []*ConstraintDecl
+	Metrics       []*MetricDecl
+}
+
+// ResourceListDecl is `resourceList <id> is procedure { "A", "B" } flavor { mpi };`
+type ResourceListDecl struct {
+	Name   string
+	Kind   string // "procedure"
+	Items  []string
+	Flavor []string
+	Line   int
+}
+
+// ConstraintDecl is `constraint <id> <path> is counter { foreach ... }`.
+// The path may end in /* to indicate the constraint binds a deeper focus
+// component (e.g. /SyncObject/Message/* for message tags).
+type ConstraintDecl struct {
+	Name     string
+	Path     string // without trailing /*
+	Deep     bool   // had trailing /*
+	Foreachs []*Foreach
+	Line     int
+}
+
+// MetricDecl is a `metric <id> { ... }` block.
+type MetricDecl struct {
+	ID          string // internal identifier, also the primary variable name
+	DisplayName string // name "..." attribute
+	Units       string
+	UnitsType   string // normalized | unnormalized | sampled
+	AggOp       string // sum | avg | min | max
+	Style       string // EventCounter | SampledFunction
+	Flavor      []string
+	Constraints []string // referenced constraint names (incl. built-ins)
+	Counters    []string // auxiliary counter declarations
+	BaseKind    string   // counter | walltimer | processtimer | cpuclock
+	Foreachs    []*Foreach
+	Line        int
+}
+
+// Foreach is `foreach func in <set> { <probes> }`.
+type Foreach struct {
+	SetName string
+	Probes  []*ProbeSpec
+	Line    int
+}
+
+// ProbeSpec is `append|prepend preinsn func.entry|func.return [constrained]
+// (* stmts *)`.
+type ProbeSpec struct {
+	Order       probe.Order
+	Where       probe.Where
+	Constrained bool
+	Stmts       []Stmt
+	Line        int
+}
+
+// --- statements inside (* ... *) blocks -----------------------------------
+
+// Stmt is an instrumentation statement.
+type Stmt interface{ stmt() }
+
+// IncStmt is `x++;`.
+type IncStmt struct{ Var string }
+
+// AddAssignStmt is `x += expr;`.
+type AddAssignStmt struct {
+	Var string
+	Val Expr
+}
+
+// AssignStmt is `x = expr;`.
+type AssignStmt struct {
+	Var string
+	Val Expr
+}
+
+// CallStmt is `fn(args...);` — startWalltimer(t), stopWalltimer(t),
+// startProcessTimer(t), stopProcessTimer(t), MPI_Type_size(dt, &out).
+type CallStmt struct {
+	Fn   string
+	Args []Expr
+	Out  string // name after &, if any
+}
+
+// IfStmt is `if (cond) stmt`.
+type IfStmt struct {
+	Cond Expr
+	Then Stmt
+}
+
+func (*IncStmt) stmt()       {}
+func (*AddAssignStmt) stmt() {}
+func (*AssignStmt) stmt()    {}
+func (*CallStmt) stmt()      {}
+func (*IfStmt) stmt()        {}
+
+// --- expressions ----------------------------------------------------------
+
+// Expr is an instrumentation expression; evaluation yields float64 or
+// string.
+type Expr interface{ expr() }
+
+// NumExpr is a numeric literal.
+type NumExpr struct{ V float64 }
+
+// StrExpr is a string literal.
+type StrExpr struct{ V string }
+
+// VarExpr references a counter variable.
+type VarExpr struct{ Name string }
+
+// ArgExpr is `$arg[i]`: the probed call's i-th argument.
+type ArgExpr struct{ Index int }
+
+// ConstraintExpr is `$constraint[i]`: the i-th bound focus component.
+type ConstraintExpr struct{ Index int }
+
+// CallExpr is a builtin call used as a value, e.g.
+// DYNINSTWindow_FindUniqueId($arg[7]).
+type CallExpr struct {
+	Fn   string
+	Args []Expr
+}
+
+// BinExpr is a binary operation: == != * + >= <= > <.
+type BinExpr struct {
+	Op   string
+	L, R Expr
+}
+
+func (*NumExpr) expr()        {}
+func (*StrExpr) expr()        {}
+func (*VarExpr) expr()        {}
+func (*ArgExpr) expr()        {}
+func (*ConstraintExpr) expr() {}
+func (*CallExpr) expr()       {}
+func (*BinExpr) expr()        {}

@@ -1,0 +1,293 @@
+package mdl
+
+import (
+	"fmt"
+
+	"pperf/internal/metric"
+	"pperf/internal/mpi"
+	"pperf/internal/probe"
+)
+
+// env is the evaluation environment shared by all of one instance's probe
+// handlers: its variables, timers, bound constraint flags, and native
+// predicates.
+type env struct {
+	target     Target
+	counters   map[string]*metric.Counter
+	wallTimers map[string]*metric.WallTimer
+	procTimers map[string]*metric.ProcessTimer
+	// flags are the MDL constraint flag counters that must all be nonzero
+	// for constrained statements to execute.
+	flags []*metric.Counter
+	// preds are native constraint predicates (procedure/module/sync
+	// category) with the same gating role.
+	preds []func(ev *probe.Event) bool
+	// cargs are the bound $constraint components for the snippet being
+	// evaluated (set per scope).
+	cargs []string
+}
+
+func newEnv(t Target) *env {
+	return &env{
+		target:     t,
+		counters:   map[string]*metric.Counter{},
+		wallTimers: map[string]*metric.WallTimer{},
+		procTimers: map[string]*metric.ProcessTimer{},
+	}
+}
+
+// scoped returns a view of the environment with constraint arguments bound
+// (for evaluating a constraint's own snippets). Variables are shared.
+func (e *env) scoped(cargs []string) *env {
+	se := *e
+	se.cargs = cargs
+	return &se
+}
+
+// satisfied reports whether all constraints hold for a constrained
+// statement at this event.
+func (e *env) satisfied(ev *probe.Event) bool {
+	for _, p := range e.preds {
+		if !p(ev) {
+			return false
+		}
+	}
+	for _, f := range e.flags {
+		if f.Value() == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// handler compiles a probe spec into a probe handler closure.
+func (e *env) handler(ps *ProbeSpec) probe.Handler {
+	stmts := ps.Stmts
+	constrained := ps.Constrained
+	return func(ev *probe.Event) {
+		if constrained && !e.satisfied(ev) {
+			return
+		}
+		for _, s := range stmts {
+			e.exec(s, ev)
+		}
+	}
+}
+
+// exec runs one statement. MDL runtime errors (unknown variable, bad types)
+// panic; they indicate a broken metric definition and surface as simulation
+// errors with full context.
+func (e *env) exec(s Stmt, ev *probe.Event) {
+	switch st := s.(type) {
+	case *IncStmt:
+		e.counter(st.Var).Add(1)
+	case *AddAssignStmt:
+		e.counter(st.Var).Add(e.evalNum(st.Val, ev))
+	case *AssignStmt:
+		e.counter(st.Var).Set(e.evalNum(st.Val, ev))
+	case *IfStmt:
+		if truthy(e.eval(st.Cond, ev)) {
+			e.exec(st.Then, ev)
+		}
+	case *CallStmt:
+		e.call(st, ev)
+	default:
+		panic(fmt.Sprintf("mdl: unknown statement %T", s))
+	}
+}
+
+func (e *env) counter(name string) *metric.Counter {
+	c, ok := e.counters[name]
+	if !ok {
+		panic(fmt.Sprintf("mdl: unknown counter %q", name))
+	}
+	return c
+}
+
+func (e *env) call(st *CallStmt, ev *probe.Event) {
+	switch st.Fn {
+	case "startWalltimer", "startWallTimer":
+		e.wallTimer(st).Start(ev.Time)
+	case "stopWalltimer", "stopWallTimer":
+		e.wallTimer(st).Stop(ev.Time)
+	case "startProcessTimer", "startProcesstimer":
+		e.procTimer(st).Start(ev.CPUTime)
+	case "stopProcessTimer", "stopProcesstimer":
+		e.procTimer(st).Stop(ev.CPUTime)
+	case "MPI_Type_size":
+		// MPI_Type_size(datatype, &out): writes the size to counter out.
+		if len(st.Args) != 1 || st.Out == "" {
+			panic("mdl: MPI_Type_size needs (datatype, &out)")
+		}
+		e.counter(st.Out).Set(typeSize(e.eval(st.Args[0], ev)))
+	default:
+		panic(fmt.Sprintf("mdl: unknown call %q", st.Fn))
+	}
+}
+
+func (e *env) wallTimer(st *CallStmt) *metric.WallTimer {
+	name := timerArgName(st)
+	t, ok := e.wallTimers[name]
+	if !ok {
+		panic(fmt.Sprintf("mdl: unknown walltimer %q", name))
+	}
+	return t
+}
+
+func (e *env) procTimer(st *CallStmt) *metric.ProcessTimer {
+	name := timerArgName(st)
+	t, ok := e.procTimers[name]
+	if !ok {
+		panic(fmt.Sprintf("mdl: unknown processtimer %q", name))
+	}
+	return t
+}
+
+func timerArgName(st *CallStmt) string {
+	if len(st.Args) != 1 {
+		panic(fmt.Sprintf("mdl: %s needs one timer argument", st.Fn))
+	}
+	v, ok := st.Args[0].(*VarExpr)
+	if !ok {
+		panic(fmt.Sprintf("mdl: %s argument must be a timer name", st.Fn))
+	}
+	return v.Name
+}
+
+// eval computes an expression; results are float64, string, or bool.
+func (e *env) eval(x Expr, ev *probe.Event) any {
+	switch ex := x.(type) {
+	case *NumExpr:
+		return ex.V
+	case *StrExpr:
+		return ex.V
+	case *VarExpr:
+		return e.counter(ex.Name).Value()
+	case *ArgExpr:
+		return ev.Arg(ex.Index)
+	case *ConstraintExpr:
+		if ex.Index < 0 || ex.Index >= len(e.cargs) {
+			return ""
+		}
+		return e.cargs[ex.Index]
+	case *CallExpr:
+		return e.evalCall(ex, ev)
+	case *BinExpr:
+		return e.evalBin(ex, ev)
+	default:
+		panic(fmt.Sprintf("mdl: unknown expression %T", x))
+	}
+}
+
+func (e *env) evalNum(x Expr, ev *probe.Event) float64 {
+	return asNum(e.eval(x, ev))
+}
+
+func (e *env) evalCall(c *CallExpr, ev *probe.Event) any {
+	arg := func(i int) any {
+		if i >= len(c.Args) {
+			return nil
+		}
+		return e.eval(c.Args[i], ev)
+	}
+	switch c.Fn {
+	case "DYNINSTWindow_FindUniqueId", "DYNINSTTWindow_FindUniqueId":
+		// The runtime lookup from a window handle to the tool's N-M id.
+		if w, ok := arg(0).(*mpi.Win); ok && w != nil {
+			return w.UniqueID()
+		}
+		return ""
+	case "DYNINSTComm_FindId":
+		if cm, ok := arg(0).(*mpi.Comm); ok && cm != nil {
+			return fmt.Sprintf("comm-%d", cm.ID())
+		}
+		return ""
+	case "DYNINSTTagName":
+		return fmt.Sprintf("tag-%d", int(asNum(arg(0))))
+	case "MPI_Type_size":
+		return typeSize(arg(0))
+	default:
+		panic(fmt.Sprintf("mdl: unknown builtin %q", c.Fn))
+	}
+}
+
+func (e *env) evalBin(b *BinExpr, ev *probe.Event) any {
+	l, r := e.eval(b.L, ev), e.eval(b.R, ev)
+	switch b.Op {
+	case "==":
+		return equalVals(l, r)
+	case "!=":
+		return !equalVals(l, r)
+	case "+":
+		return asNum(l) + asNum(r)
+	case "*":
+		return asNum(l) * asNum(r)
+	case ">":
+		return asNum(l) > asNum(r)
+	case "<":
+		return asNum(l) < asNum(r)
+	case ">=":
+		return asNum(l) >= asNum(r)
+	case "<=":
+		return asNum(l) <= asNum(r)
+	default:
+		panic(fmt.Sprintf("mdl: unknown operator %q", b.Op))
+	}
+}
+
+func equalVals(l, r any) bool {
+	if ls, ok := l.(string); ok {
+		rs, ok2 := r.(string)
+		return ok2 && ls == rs
+	}
+	if _, ok := r.(string); ok {
+		return false
+	}
+	return asNum(l) == asNum(r)
+}
+
+func truthy(v any) bool {
+	switch t := v.(type) {
+	case bool:
+		return t
+	case float64:
+		return t != 0
+	case string:
+		return t != ""
+	case nil:
+		return false
+	default:
+		return true
+	}
+}
+
+// asNum coerces probe argument values to float64 for MDL arithmetic.
+func asNum(v any) float64 {
+	switch t := v.(type) {
+	case float64:
+		return t
+	case int:
+		return float64(t)
+	case int64:
+		return float64(t)
+	case bool:
+		if t {
+			return 1
+		}
+		return 0
+	case mpi.Datatype:
+		return float64(int(t))
+	case nil:
+		return 0
+	default:
+		return 0
+	}
+}
+
+// typeSize is the MPI_Type_size builtin over a probe datatype argument.
+func typeSize(v any) float64 {
+	if dt, ok := v.(mpi.Datatype); ok {
+		return float64(dt.Size())
+	}
+	return 0
+}

@@ -1,0 +1,106 @@
+package metric
+
+import "pperf/internal/sim"
+
+// Accumulator is the value cell behind one metric-focus instance on one
+// process: instrumentation writes it, the daemon samples it. Sample returns
+// the cumulative value in metric units (counts, bytes, or seconds) given the
+// process's current wall clock and CPU clock; a running timer includes its
+// in-progress interval.
+type Accumulator interface {
+	Sample(wall sim.Time, cpu sim.Duration) float64
+}
+
+// Counter is MDL's "counter": incremented by probe statements.
+type Counter struct {
+	v float64
+}
+
+// Add increments the counter.
+func (c *Counter) Add(n float64) { c.v += n }
+
+// Set assigns the counter (MDL allows plain assignment too).
+func (c *Counter) Set(n float64) { c.v = n }
+
+// Value returns the current value.
+func (c *Counter) Value() float64 { return c.v }
+
+// Sample implements Accumulator.
+func (c *Counter) Sample(sim.Time, sim.Duration) float64 { return c.v }
+
+// WallTimer is MDL's "walltimer": accumulates elapsed wall-clock (virtual)
+// time between start and stop. Start/stop pairs may nest (recursive
+// functions); only the outermost pair defines the interval.
+type WallTimer struct {
+	acc     sim.Duration
+	depth   int
+	startAt sim.Time
+}
+
+// Start begins (or nests) timing at wall time t.
+func (w *WallTimer) Start(t sim.Time) {
+	if w.depth == 0 {
+		w.startAt = t
+	}
+	w.depth++
+}
+
+// Stop ends one nesting level at wall time t; the outermost stop
+// accumulates. Stopping a non-running timer is a no-op (Paradyn tolerates
+// instrumentation inserted between a function's entry and return).
+func (w *WallTimer) Stop(t sim.Time) {
+	if w.depth == 0 {
+		return
+	}
+	w.depth--
+	if w.depth == 0 {
+		w.acc += t.Sub(w.startAt)
+	}
+}
+
+// Sample implements Accumulator: accumulated seconds, including the
+// in-progress interval of a running timer.
+func (w *WallTimer) Sample(wall sim.Time, _ sim.Duration) float64 {
+	d := w.acc
+	if w.depth > 0 {
+		d += wall.Sub(w.startAt)
+	}
+	return d.Seconds()
+}
+
+// ProcessTimer is MDL's "processtimer": like WallTimer but it advances with
+// the process's CPU time, so blocked time does not count. This is the basis
+// of the cpu_inclusive metric.
+type ProcessTimer struct {
+	acc     sim.Duration
+	depth   int
+	startAt sim.Duration // CPU position at outermost start
+}
+
+// Start begins timing at CPU position cpu.
+func (p *ProcessTimer) Start(cpu sim.Duration) {
+	if p.depth == 0 {
+		p.startAt = cpu
+	}
+	p.depth++
+}
+
+// Stop ends one nesting level at CPU position cpu.
+func (p *ProcessTimer) Stop(cpu sim.Duration) {
+	if p.depth == 0 {
+		return
+	}
+	p.depth--
+	if p.depth == 0 {
+		p.acc += cpu - p.startAt
+	}
+}
+
+// Sample implements Accumulator.
+func (p *ProcessTimer) Sample(_ sim.Time, cpu sim.Duration) float64 {
+	d := p.acc
+	if p.depth > 0 {
+		d += cpu - p.startAt
+	}
+	return d.Seconds()
+}

@@ -1,0 +1,118 @@
+package metric
+
+import (
+	"fmt"
+
+	"pperf/internal/resource"
+	"pperf/internal/sim"
+)
+
+// Style distinguishes how a metric's values are produced, as in MDL.
+type Style int
+
+const (
+	// EventCounter metrics accumulate monotonically (ops, bytes, seconds of
+	// waiting); the tool charts the per-interval delta as a rate.
+	EventCounter Style = iota
+	// SampledFunction metrics are read directly at each sample.
+	SampledFunction
+)
+
+// UnitsType matches MDL's unitstype attribute.
+type UnitsType int
+
+const (
+	// Unnormalized rates are shown per second (ops/s, bytes/s).
+	Unnormalized UnitsType = iota
+	// Normalized rates are time/time (CPUs): a value of 1 means one full
+	// processor's worth.
+	Normalized
+	// Sampled values are shown as-is.
+	Sampled
+)
+
+// AggOp is how per-process values combine across a focus (MDL
+// aggregateOperator).
+type AggOp int
+
+const (
+	AggSum AggOp = iota
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// Aggregate combines values under the operator. An empty slice yields 0.
+func Aggregate(op AggOp, vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	switch op {
+	case AggAvg:
+		s := 0.0
+		for _, v := range vals {
+			s += v
+		}
+		return s / float64(len(vals))
+	case AggMin:
+		m := vals[0]
+		for _, v := range vals[1:] {
+			if v < m {
+				m = v
+			}
+		}
+		return m
+	case AggMax:
+		m := vals[0]
+		for _, v := range vals[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	default:
+		s := 0.0
+		for _, v := range vals {
+			s += v
+		}
+		return s
+	}
+}
+
+// Def is a metric's metadata (its instrumentation recipe lives in the MDL
+// layer; see internal/mdl).
+type Def struct {
+	Name        string
+	Units       string
+	UnitsType   UnitsType
+	Agg         AggOp
+	Style       Style
+	Description string
+}
+
+func (d *Def) String() string { return fmt.Sprintf("metric %s (%s)", d.Name, d.Units) }
+
+// Instance is one metric-focus pair enabled on one process: the accumulator
+// the instrumentation writes plus the daemon's sampling cursor.
+type Instance struct {
+	Def   *Def
+	Focus resource.Focus
+	Proc  string
+	Acc   Accumulator
+	last  float64
+}
+
+// SampleDelta returns the metric's growth since the previous sample (for
+// EventCounter metrics this is what lands in the histogram bin).
+func (in *Instance) SampleDelta(wall sim.Time, cpu sim.Duration) float64 {
+	v := in.Acc.Sample(wall, cpu)
+	d := v - in.last
+	in.last = v
+	return d
+}
+
+// SampleValue returns the current cumulative value without moving the
+// cursor.
+func (in *Instance) SampleValue(wall sim.Time, cpu sim.Duration) float64 {
+	return in.Acc.Sample(wall, cpu)
+}

@@ -1,0 +1,201 @@
+package mpi
+
+// Additional collectives and point-to-point modes rounding out the MPI-1
+// surface real applications use: synchronous-mode send, gather/scatter,
+// allgather, and all-to-all. Like the core collectives they run over the
+// shadow context through traced point-to-point calls, so the tool observes
+// their internals.
+
+const (
+	gatherTag   = 1<<20 + 300
+	scatterTag  = 1<<20 + 400
+	alltoallTag = 1<<20 + 500
+)
+
+// Ssend is MPI_Ssend: synchronous-mode send — it completes only when the
+// matching receive has started, regardless of message size (i.e. it always
+// uses the rendezvous path). Probe args match MPI_Send.
+func (c *Comm) Ssend(r *Rank, data []byte, count int, dt Datatype, dest, tag int) error {
+	f := r.beginMPI("MPI_Ssend", data, count, dt, dest, tag, c)
+	defer r.endMPI(f, data, count, dt, dest, tag, c)
+	r.SystemCompute(c.w.Impl.Cost.SendOverhead)
+	peer, err := c.peer(r, dest)
+	if err != nil {
+		return err
+	}
+	rq := &Request{
+		owner: r, isSend: true, dst: peer, commID: c.id,
+		srcRank: c.RankOf(r), sendTag: tag, bytes: count * dt.Size(), data: data,
+	}
+	m := &message{
+		src: r, dst: peer, commID: c.id, srcRank: rq.srcRank,
+		tag: tag, bytes: rq.bytes, rendezvous: true, sreq: rq,
+	}
+	m.arrival = r.Now().Add(c.w.Impl.Cost.MsgTime(r.node, peer.node, 0))
+	r.w.Eng.At(m.arrival, m.deliver)
+	r.waitInternal(rq, r.waitDescr(rq))
+	return nil
+}
+
+// Gather is MPI_Gather: every rank contributes count elements; the root
+// returns the concatenation in rank order (nil elsewhere). Probe args:
+// (sendbuf, sendcount, sendtype, recvbuf, recvcount, recvtype, root, comm).
+func (c *Comm) Gather(r *Rank, data []byte, count int, dt Datatype, root int) ([]byte, error) {
+	f := r.beginMPI("MPI_Gather", data, count, dt, nil, count, dt, root, c)
+	defer r.endMPI(f, data, count, dt, nil, count, dt, root, c)
+	r.SystemCompute(c.w.Impl.CollectiveOverhead)
+	sh := c.shadowComm()
+	n := len(c.localGroup(r))
+	me := c.RankOf(r)
+	width := count * dt.Size()
+	if me != root {
+		return nil, sh.Send(r, padTo(data, width), count, dt, root, gatherTag)
+	}
+	out := make([]byte, width*n)
+	copy(out[width*me:], padTo(data, width))
+	for i := 0; i < n; i++ {
+		if i == root {
+			continue
+		}
+		rq, err := sh.Recv(r, nil, count, dt, i, gatherTag)
+		if err != nil {
+			return nil, err
+		}
+		copy(out[width*i:], rq.Data())
+	}
+	return out, nil
+}
+
+// Scatter is MPI_Scatter: the root distributes consecutive count-element
+// slices of data to each rank; everyone returns their slice. Probe args:
+// (sendbuf, sendcount, sendtype, recvbuf, recvcount, recvtype, root, comm).
+func (c *Comm) Scatter(r *Rank, data []byte, count int, dt Datatype, root int) ([]byte, error) {
+	f := r.beginMPI("MPI_Scatter", data, count, dt, nil, count, dt, root, c)
+	defer r.endMPI(f, data, count, dt, nil, count, dt, root, c)
+	r.SystemCompute(c.w.Impl.CollectiveOverhead)
+	sh := c.shadowComm()
+	n := len(c.localGroup(r))
+	me := c.RankOf(r)
+	width := count * dt.Size()
+	if me == root {
+		data = padTo(data, width*n)
+		for i := 0; i < n; i++ {
+			if i == root {
+				continue
+			}
+			if err := sh.Send(r, data[width*i:width*(i+1)], count, dt, i, scatterTag); err != nil {
+				return nil, err
+			}
+		}
+		return data[width*me : width*(me+1)], nil
+	}
+	rq, err := sh.Recv(r, nil, count, dt, root, scatterTag)
+	if err != nil {
+		return nil, err
+	}
+	return rq.Data(), nil
+}
+
+// Allgather is MPI_Allgather: Gather to rank 0 followed by Bcast, the
+// straightforward implementation. Probe args: (sendbuf, sendcount,
+// sendtype, recvbuf, recvcount, recvtype, comm).
+func (c *Comm) Allgather(r *Rank, data []byte, count int, dt Datatype) ([]byte, error) {
+	f := r.beginMPI("MPI_Allgather", data, count, dt, nil, count, dt, c)
+	defer r.endMPI(f, data, count, dt, nil, count, dt, c)
+	r.SystemCompute(c.w.Impl.CollectiveOverhead)
+	n := len(c.localGroup(r))
+	gathered, err := c.gatherInternal(r, data, count, dt)
+	if err != nil {
+		return nil, err
+	}
+	sh := c.shadowComm()
+	me := c.RankOf(r)
+	width := count * dt.Size()
+	// Binomial broadcast of the gathered vector from rank 0.
+	if me != 0 {
+		parent := me - lowestPow2LE(me)
+		rq, err := sh.Recv(r, nil, count*n, dt, parent%n, gatherTag+1)
+		if err != nil {
+			return nil, err
+		}
+		gathered = rq.Data()
+	}
+	for mask := nextPow2GE(me + 1); me+mask < n; mask *= 2 {
+		if err := sh.Send(r, gathered, count*n, dt, me+mask, gatherTag+1); err != nil {
+			return nil, err
+		}
+	}
+	_ = width
+	return gathered, nil
+}
+
+// gatherInternal is Gather-to-0 without the traced MPI_Gather wrapper (used
+// inside Allgather).
+func (c *Comm) gatherInternal(r *Rank, data []byte, count int, dt Datatype) ([]byte, error) {
+	sh := c.shadowComm()
+	n := len(c.localGroup(r))
+	me := c.RankOf(r)
+	width := count * dt.Size()
+	if me != 0 {
+		return nil, sh.Send(r, padTo(data, width), count, dt, 0, gatherTag+2)
+	}
+	out := make([]byte, width*n)
+	copy(out, padTo(data, width))
+	for i := 1; i < n; i++ {
+		rq, err := sh.Recv(r, nil, count, dt, i, gatherTag+2)
+		if err != nil {
+			return nil, err
+		}
+		copy(out[width*i:], rq.Data())
+	}
+	return out, nil
+}
+
+// Alltoall is MPI_Alltoall: rank i's slice j goes to rank j's slot i,
+// pairwise-exchanged with Sendrecv. Probe args: (sendbuf, sendcount,
+// sendtype, recvbuf, recvcount, recvtype, comm).
+func (c *Comm) Alltoall(r *Rank, data []byte, count int, dt Datatype) ([]byte, error) {
+	f := r.beginMPI("MPI_Alltoall", data, count, dt, nil, count, dt, c)
+	defer r.endMPI(f, data, count, dt, nil, count, dt, c)
+	r.SystemCompute(c.w.Impl.CollectiveOverhead)
+	sh := c.shadowComm()
+	n := len(c.localGroup(r))
+	me := c.RankOf(r)
+	width := count * dt.Size()
+	data = padTo(data, width*n)
+	out := make([]byte, width*n)
+	copy(out[width*me:], data[width*me:width*(me+1)])
+	// Pairwise exchange: in step k, exchange with me^k fails for non-power
+	// sizes, so use the rotation schedule (me+k, me-k).
+	for k := 1; k < n; k++ {
+		to := (me + k) % n
+		from := (me - k + n) % n
+		rq, err := sh.Sendrecv(r, data[width*to:width*(to+1)], count, dt, to, alltoallTag+k,
+			nil, count, dt, from, alltoallTag+k)
+		if err != nil {
+			return nil, err
+		}
+		copy(out[width*from:], rq.Data())
+	}
+	return out, nil
+}
+
+// padTo returns data extended with zeros to exactly n bytes (synthetic
+// payloads may be nil or short).
+func padTo(data []byte, n int) []byte {
+	if len(data) >= n {
+		return data[:n]
+	}
+	out := make([]byte, n)
+	copy(out, data)
+	return out
+}
+
+// Wtime is MPI_Wtime: the process's wall clock in seconds.
+func (r *Rank) Wtime() float64 { return r.Now().Seconds() }
+
+// Wtick is MPI_Wtime's resolution (one virtual nanosecond).
+func (r *Rank) Wtick() float64 { return 1e-9 }
+
+// ProcessorName is MPI_Get_processor_name: the node hostname.
+func (r *Rank) ProcessorName() string { return r.NodeName() }

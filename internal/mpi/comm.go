@@ -1,0 +1,185 @@
+package mpi
+
+import "fmt"
+
+// Comm is a communicator. Intracommunicators have only a local group;
+// intercommunicators (from MPI_Comm_spawn) also carry a remote group, and
+// sends address ranks of the remote group as MPI requires.
+type Comm struct {
+	w      *World
+	id     int
+	name   string
+	local  []*Rank
+	remote []*Rank // nil for intracommunicators
+
+	// shadow is the hidden communication context collectives use, so that
+	// their internal messages can never match user receives (the simulated
+	// equivalent of MPI context ids).
+	shadow *Comm
+
+	initSync *syncPoint
+	finSync  *syncPoint
+	collSync *syncPoint
+
+	// In-flight collective window creation (first arrival allocates, the
+	// rest join until everyone has).
+	pendingWin     *winShared
+	pendingWinLeft int
+
+	// Result slots of an in-flight collective spawn, written by the root.
+	spawnResult *Comm
+	spawnErr    error
+
+	// Intercommunicator merge state (MPI_Intercomm_merge).
+	merged    *Comm
+	mergeSync *syncPoint
+
+	// In-flight MPI_Comm_dup / MPI_Comm_split state.
+	opState *commOpState
+}
+
+// ID returns the communicator id the implementation assigned.
+func (c *Comm) ID() int { return c.id }
+
+// Name returns the user-assigned name (MPI_Comm_set_name), or a default
+// derived from the id.
+func (c *Comm) Name() string {
+	if c.name != "" {
+		return c.name
+	}
+	return fmt.Sprintf("comm-%d", c.id)
+}
+
+// IsInter reports whether this is an intercommunicator.
+func (c *Comm) IsInter() bool { return c.remote != nil }
+
+// Size returns the local group size.
+func (c *Comm) Size() int { return len(c.local) }
+
+// RemoteSize returns the remote group size (0 for intracommunicators).
+func (c *Comm) RemoteSize() int { return len(c.remote) }
+
+// RankOf returns r's rank in the communicator's local group, or its rank in
+// the remote group for the other side of an intercommunicator. Returns -1
+// if r is not a member.
+func (c *Comm) RankOf(r *Rank) int {
+	for i, m := range c.local {
+		if m == r {
+			return i
+		}
+	}
+	for i, m := range c.remote {
+		if m == r {
+			return i
+		}
+	}
+	return -1
+}
+
+// peer resolves a destination/source rank number from r's perspective: the
+// local group for intracommunicators, the opposite group for
+// intercommunicators.
+func (c *Comm) peer(r *Rank, rank int) (*Rank, error) {
+	group := c.local
+	if c.remote != nil {
+		// Which side is r on?
+		onLocal := false
+		for _, m := range c.local {
+			if m == r {
+				onLocal = true
+				break
+			}
+		}
+		if onLocal {
+			group = c.remote
+		}
+	}
+	if rank < 0 || rank >= len(group) {
+		return nil, fmt.Errorf("mpi: rank %d out of range [0,%d) on %s", rank, len(group), c.Name())
+	}
+	return group[rank], nil
+}
+
+// localGroup returns the group r belongs to within this communicator.
+func (c *Comm) localGroup(r *Rank) []*Rank {
+	if c.remote == nil {
+		return c.local
+	}
+	for _, m := range c.local {
+		if m == r {
+			return c.local
+		}
+	}
+	return c.remote
+}
+
+// shadowComm returns (creating once) the hidden collective context. Its
+// creation is reported to resource hooks: tools observe the implementation-
+// internal communicator collectives run over, which is how the paper's PC
+// identified the communicator behind MPICH's barrier traffic (Fig 9).
+func (c *Comm) shadowComm() *Comm {
+	if c.shadow == nil {
+		c.shadow = c.w.newComm(c.local, c.remote)
+		c.shadow.name = fmt.Sprintf("%s (internal)", c.Name())
+		if len(c.local) > 0 {
+			c.w.fireCommCreated(c.local[0], c.shadow)
+		}
+	}
+	return c.shadow
+}
+
+// finalizeSync returns the group's MPI_Finalize barrier.
+func (c *Comm) finalizeSync() *syncPoint {
+	if c.finSync == nil {
+		c.finSync = &syncPoint{n: len(c.local)}
+	}
+	return c.finSync
+}
+
+// collectiveSync returns the internal barrier used for setup collectives
+// (window creation, spawn) on this communicator.
+func (c *Comm) collectiveSync() *syncPoint {
+	if c.collSync == nil {
+		c.collSync = &syncPoint{n: len(c.local)}
+	}
+	return c.collSync
+}
+
+// Merge is MPI_Intercomm_merge: collectively combines an
+// intercommunicator's two groups into one intracommunicator (what
+// spawnwinSync needs to create an RMA window spanning parent and child
+// processes). The local group of the side calling with high=false comes
+// first in the new ranking.
+func (c *Comm) Merge(r *Rank, high bool) (*Comm, error) {
+	f := r.beginMPI("MPI_Intercomm_merge", c, high, nil)
+	defer r.endMPI(f, c, high, nil)
+	if c.remote == nil {
+		return nil, fmt.Errorf("mpi: MPI_Intercomm_merge on intracommunicator %s", c.Name())
+	}
+	if c.mergeSync == nil {
+		c.mergeSync = &syncPoint{n: len(c.local) + len(c.remote)}
+	}
+	if c.merged == nil {
+		all := make([]*Rank, 0, len(c.local)+len(c.remote))
+		all = append(all, c.local...)
+		all = append(all, c.remote...)
+		c.merged = c.w.newComm(all, nil)
+		c.merged.name = fmt.Sprintf("merged-%d", c.merged.id)
+		c.w.fireCommCreated(r, c.merged)
+	}
+	c.mergeSync.wait(r, "MPI_Intercomm_merge")
+	return c.merged, nil
+}
+
+// SetName performs MPI_Comm_set_name, making the tool display the friendly
+// name in the resource hierarchy (§4.2.3).
+func (c *Comm) SetName(r *Rank, name string) {
+	f := r.beginMPI("MPI_Comm_set_name", c, name)
+	c.name = name
+	for _, h := range c.w.hooks {
+		if h.NameSet != nil {
+			h.NameSet(r, c, name)
+		}
+	}
+	r.endMPI(f, c, name)
+}

@@ -1,0 +1,215 @@
+package mpi
+
+import (
+	"pperf/internal/sim"
+)
+
+// message is an in-flight or queued point-to-point message. For eager sends
+// it carries the payload; for rendezvous sends it is the "ready to send"
+// notice that the receiver matches before the transfer happens.
+type message struct {
+	src, dst   *Rank
+	commID     int
+	srcRank    int
+	tag        int
+	bytes      int
+	data       []byte
+	arrival    sim.Time
+	rendezvous bool
+	sreq       *Request // sender's request (rendezvous completion, credits)
+	internal   bool     // exempt from eager flow control (library traffic)
+	seq        uint64   // per-receiver arrival order, for FIFO matching
+	// creditBytes, when nonzero, is the flow-window charge still owed back
+	// to the sender (returned on consume or library drain).
+	creditBytes int
+}
+
+// Request is a nonblocking operation handle (from Isend/Irecv), completed
+// with Wait.
+type Request struct {
+	owner      *Rank
+	isSend     bool
+	done       bool
+	completeAt sim.Time
+
+	// Receive-side match pattern and result.
+	commID  int
+	srcRank int // AnySource allowed
+	tag     int // AnyTag allowed
+	msg     *message
+	buf     []byte // destination buffer; filled on completion if non-nil
+
+	// Send side.
+	dst      *Rank
+	bytes    int
+	data     []byte
+	sendTag  int
+	internal bool
+	pending  bool // waiting for an eager flow-control credit
+}
+
+// Done reports whether the request has completed.
+func (rq *Request) Done() bool { return rq.done }
+
+// Data returns the received payload (nil until completion or for sends).
+func (rq *Request) Data() []byte {
+	if rq.msg != nil {
+		return rq.msg.data
+	}
+	return nil
+}
+
+// Source returns the matched source rank for receive requests (useful with
+// AnySource), or -1 before completion.
+func (rq *Request) Source() int {
+	if rq.msg != nil {
+		return rq.msg.srcRank
+	}
+	return -1
+}
+
+// matches reports whether a posted receive pattern matches a message.
+func (rq *Request) matches(m *message) bool {
+	return !rq.isSend && !rq.done && rq.msg == nil &&
+		rq.commID == m.commID &&
+		(rq.srcRank == AnySource || rq.srcRank == m.srcRank) &&
+		(rq.tag == AnyTag || rq.tag == m.tag)
+}
+
+// complete marks a receive request matched by m, completing at time t, and
+// wakes the owner if it is blocked.
+func (rq *Request) complete(m *message, t sim.Time) {
+	rq.msg = m
+	rq.done = true
+	rq.completeAt = t
+	if rq.buf != nil && m != nil && m.data != nil {
+		copy(rq.buf, m.data)
+	}
+	rq.owner.wakeAt(t)
+}
+
+// completeSend marks a send request finished at t and wakes the owner.
+func (rq *Request) completeSend(t sim.Time) {
+	rq.done = true
+	rq.completeAt = t
+	rq.owner.wakeAt(t)
+}
+
+// deliver runs in scheduler (event) context when a message or
+// ready-to-send notice arrives at its destination: match a posted receive
+// or queue as unexpected.
+func (m *message) deliver() {
+	dst := m.dst
+	dst.msgSeq++
+	m.seq = dst.msgSeq
+	for i, rq := range dst.posted {
+		if rq.matches(m) {
+			dst.posted = append(dst.posted[:i], dst.posted[i+1:]...)
+			m.match(rq, m.arrival)
+			return
+		}
+	}
+	dst.unexpected = append(dst.unexpected, m)
+	if m.creditBytes > 0 && dst.inLibraryWait > 0 {
+		// The receiver is blocked inside the MPI library, so its transport
+		// is being drained: the flow window frees without a match.
+		m.returnCredit(m.arrival)
+	}
+	// Wake a receiver blocked in MPI_Probe (or any library wait that
+	// re-checks the unexpected queue); spurious wakes are harmless.
+	if dst.inLibraryWait > 0 {
+		dst.wakeAt(m.arrival)
+	}
+}
+
+// returnCredit schedules the message's flow-window bytes back to the sender.
+func (m *message) returnCredit(t sim.Time) {
+	if m.creditBytes == 0 {
+		return
+	}
+	bytes := m.creditBytes
+	m.creditBytes = 0
+	src, dstGID := m.src, m.dst.global
+	lat := m.dst.w.Impl.Cost.MsgTime(m.dst.node, m.src.node, 0)
+	m.dst.w.Eng.At(t.Add(lat), func() { src.addCredit(dstGID, bytes) })
+}
+
+// match completes the handshake between message m and receive request rq,
+// where tm is the match time (>= both the arrival and the post time).
+func (m *message) match(rq *Request, tm sim.Time) {
+	w := m.dst.w
+	cost := &w.Impl.Cost
+	lat := cost.MsgTime(m.src.node, m.dst.node, 0) // pure latency
+	if !m.rendezvous {
+		rq.complete(m, tm)
+		m.returnCredit(tm)
+		return
+	}
+	// Rendezvous: clear-to-send travels back, then the payload crosses.
+	transfer := cost.MsgTime(m.src.node, m.dst.node, m.bytes) - lat
+	ctsAt := tm.Add(lat)
+	sendDone := ctsAt.Add(transfer)
+	recvDone := sendDone.Add(lat)
+	sreq := m.sreq
+	w.Eng.At(sendDone, func() { sreq.completeSend(sendDone) })
+	w.Eng.At(recvDone, func() {
+		m.data = sreq.data
+		rq.complete(m, recvDone)
+	})
+}
+
+// addCredit returns flow-window bytes for sends to destination global id
+// dstGID and dispatches pending sends to that destination that now fit.
+// Runs in event context at the credit's arrival time.
+func (r *Rank) addCredit(dstGID int, bytes int) {
+	r.credits[dstGID] += bytes
+	now := r.w.Eng.Now()
+	for r.credits[dstGID] > 0 {
+		idx := -1
+		for i, rq := range r.pendingSends {
+			if rq.dst.global == dstGID {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return
+		}
+		rq := r.pendingSends[idx]
+		charge := rq.bytes + r.w.Impl.Cost.MsgHeaderBytes
+		if r.credits[dstGID] < charge {
+			return // head-of-line blocks until enough window frees
+		}
+		r.pendingSends = append(r.pendingSends[:idx], r.pendingSends[idx+1:]...)
+		rq.pending = false
+		r.credits[dstGID] -= charge
+		r.dispatchEager(rq, now, charge)
+		rq.completeSend(now)
+	}
+}
+
+// dispatchEager injects an eager message into the network at time t,
+// charging creditBytes against the flow window (0 for internal traffic).
+func (r *Rank) dispatchEager(rq *Request, t sim.Time, creditBytes int) {
+	cost := &r.w.Impl.Cost
+	m := &message{
+		src: r, dst: rq.dst, commID: rq.commID, srcRank: rq.srcRank,
+		tag: rq.sendTag, bytes: rq.bytes, data: rq.data,
+		arrival:  t.Add(cost.MsgTime(r.node, rq.dst.node, rq.bytes)),
+		internal: rq.internal, sreq: rq,
+		creditBytes: creditBytes,
+	}
+	r.w.Eng.At(m.arrival, m.deliver)
+}
+
+// findUnexpected scans the unexpected queue (in arrival order) for the first
+// message matching the pattern, removing and returning it.
+func (r *Rank) findUnexpected(rq *Request) *message {
+	for i, m := range r.unexpected {
+		if rq.matches(m) {
+			r.unexpected = append(r.unexpected[:i], r.unexpected[i+1:]...)
+			return m
+		}
+	}
+	return nil
+}

@@ -1,0 +1,227 @@
+package mpi
+
+import "fmt"
+
+// --- internal (untraced) primitives --------------------------------------
+//
+// The traced MPI routines below are thin wrappers over these. Collectives
+// also build on them (over the communicator's shadow context), so that only
+// the routines the paper's tool would see through its instrumentation fire
+// probes.
+
+// isendInternal starts a send of bytes to dst (a rank number resolved
+// against comm from r's perspective).
+func (r *Rank) isendInternal(comm *Comm, dst, tag, count int, dt Datatype, data []byte, internal bool) (*Request, error) {
+	peer, err := comm.peer(r, dst)
+	if err != nil {
+		return nil, err
+	}
+	cost := &r.w.Impl.Cost
+	bytes := count * dt.Size()
+	rq := &Request{
+		owner: r, isSend: true, dst: peer, commID: comm.id,
+		srcRank: comm.RankOf(r), sendTag: tag, bytes: bytes, data: data,
+		internal: internal,
+	}
+	if bytes > cost.EagerThreshold {
+		// Rendezvous: post a ready-to-send notice; the transfer starts when
+		// the receiver matches it.
+		m := &message{
+			src: r, dst: peer, commID: comm.id, srcRank: rq.srcRank,
+			tag: tag, bytes: bytes, rendezvous: true, sreq: rq, internal: internal,
+		}
+		m.arrival = r.Now().Add(cost.MsgTime(r.node, peer.node, 0))
+		r.w.Eng.At(m.arrival, m.deliver)
+		return rq, nil
+	}
+	if internal {
+		r.dispatchEager(rq, r.Now(), 0)
+		rq.done = true
+		rq.completeAt = r.Now()
+		return rq, nil
+	}
+	if _, seen := r.credits[peer.global]; !seen {
+		r.credits[peer.global] = cost.FlowCreditBytes
+	}
+	charge := bytes + cost.MsgHeaderBytes
+	if charge > cost.FlowCreditBytes {
+		// An eager message larger than the whole flow window (possible when
+		// the eager threshold exceeds the buffer size) bypasses windowing:
+		// real transports grow their buffers rather than deadlock.
+		r.dispatchEager(rq, r.Now(), 0)
+		rq.done = true
+		rq.completeAt = r.Now()
+		return rq, nil
+	}
+	if r.credits[peer.global] >= charge && !r.hasPendingTo(peer.global) {
+		r.credits[peer.global] -= charge
+		r.dispatchEager(rq, r.Now(), charge)
+		rq.done = true
+		rq.completeAt = r.Now()
+		return rq, nil
+	}
+	// No window space: the send waits its turn (finite eager buffering —
+	// this is where small-messages' clients accumulate MPI_Send waiting
+	// time).
+	rq.pending = true
+	r.pendingSends = append(r.pendingSends, rq)
+	return rq, nil
+}
+
+// irecvInternal posts a receive for (src, tag) on comm. src may be
+// AnySource and tag AnyTag.
+func (r *Rank) irecvInternal(comm *Comm, src, tag, count int, dt Datatype, buf []byte) (*Request, error) {
+	if src != AnySource {
+		if _, err := comm.peer(r, src); err != nil {
+			return nil, err
+		}
+	}
+	rq := &Request{
+		owner: r, commID: comm.id, srcRank: src, tag: tag,
+		bytes: count * dt.Size(), buf: buf,
+	}
+	if m := r.findUnexpected(rq); m != nil {
+		m.match(rq, r.Now())
+		return rq, nil
+	}
+	r.posted = append(r.posted, rq)
+	return rq, nil
+}
+
+// hasPendingTo reports whether earlier sends to the destination are still
+// queued for window space (per-pair FIFO ordering).
+func (r *Rank) hasPendingTo(dstGID int) bool {
+	for _, rq := range r.pendingSends {
+		if rq.dst.global == dstGID {
+			return true
+		}
+	}
+	return false
+}
+
+// waitInternal blocks until the request completes. For personalities whose
+// transport blocks in socket system calls, the waiting portion is wrapped in
+// a visible read/write call, which is how MPICH's message waiting also
+// accrues I/O blocking time (§5.1.2).
+func (r *Rank) waitInternal(rq *Request, what string) {
+	if rq.done && rq.completeAt <= r.Now() {
+		return
+	}
+	if r.w.Impl.SocketIO {
+		name := "read"
+		if rq.isSend {
+			name = "write"
+		}
+		f := r.w.Impl.fn(name)
+		r.probes.Enter(f)
+		defer r.probes.Leave(f)
+	}
+	r.enterLibraryWait()
+	defer r.exitLibraryWait()
+	for !rq.done {
+		r.block(what)
+	}
+}
+
+func (r *Rank) waitDescr(rq *Request) string {
+	kind := "MPI_Recv"
+	if rq.isSend {
+		kind = "MPI_Send"
+	}
+	return fmt.Sprintf("%s(tag=%d, comm=%d) on rank %d", kind, rq.tag, rq.commID, r.rank)
+}
+
+// --- traced point-to-point API --------------------------------------------
+
+// Send is MPI_Send: blocking standard-mode send of count elements of dt.
+// data may be nil for synthetic payloads. Argument positions in the fired
+// probe mirror C MPI: (buf, count, datatype, dest, tag, comm).
+func (c *Comm) Send(r *Rank, data []byte, count int, dt Datatype, dest, tag int) error {
+	f := r.beginMPI("MPI_Send", data, count, dt, dest, tag, c)
+	defer r.endMPI(f, data, count, dt, dest, tag, c)
+	r.SystemCompute(c.w.Impl.Cost.SendOverhead)
+	rq, err := r.isendInternal(c, dest, tag, count, dt, data, false)
+	if err != nil {
+		return err
+	}
+	r.waitInternal(rq, r.waitDescr(rq))
+	return nil
+}
+
+// Recv is MPI_Recv: blocking receive. src may be AnySource, tag AnyTag.
+// Probe args: (buf, count, datatype, source, tag, comm).
+func (c *Comm) Recv(r *Rank, buf []byte, count int, dt Datatype, src, tag int) (*Request, error) {
+	f := r.beginMPI("MPI_Recv", buf, count, dt, src, tag, c)
+	defer r.endMPI(f, buf, count, dt, src, tag, c)
+	r.SystemCompute(c.w.Impl.Cost.RecvOverhead)
+	rq, err := r.irecvInternal(c, src, tag, count, dt, buf)
+	if err != nil {
+		return nil, err
+	}
+	r.waitInternal(rq, r.waitDescr(rq))
+	return rq, nil
+}
+
+// Isend is MPI_Isend: nonblocking send; complete with Wait.
+func (c *Comm) Isend(r *Rank, data []byte, count int, dt Datatype, dest, tag int) (*Request, error) {
+	f := r.beginMPI("MPI_Isend", data, count, dt, dest, tag, c)
+	defer r.endMPI(f, data, count, dt, dest, tag, c)
+	r.SystemCompute(c.w.Impl.Cost.SendOverhead)
+	return r.isendInternal(c, dest, tag, count, dt, data, false)
+}
+
+// Irecv is MPI_Irecv: nonblocking receive; complete with Wait.
+func (c *Comm) Irecv(r *Rank, buf []byte, count int, dt Datatype, src, tag int) (*Request, error) {
+	f := r.beginMPI("MPI_Irecv", buf, count, dt, src, tag, c)
+	defer r.endMPI(f, buf, count, dt, src, tag, c)
+	r.SystemCompute(c.w.Impl.Cost.RecvOverhead)
+	return r.irecvInternal(c, src, tag, count, dt, buf)
+}
+
+// Wait is MPI_Wait.
+func (r *Rank) Wait(rq *Request) {
+	f := r.beginMPI("MPI_Wait", rq)
+	defer r.endMPI(f, rq)
+	r.waitInternal(rq, r.waitDescr(rq))
+}
+
+// Test is MPI_Test: non-blocking completion check of a request.
+func (r *Rank) Test(rq *Request) bool {
+	f := r.beginMPI("MPI_Test", rq, nil)
+	defer r.endMPI(f, rq, nil)
+	return rq.done && rq.completeAt <= r.Now()
+}
+
+// Waitall is MPI_Waitall.
+func (r *Rank) Waitall(rqs []*Request) {
+	f := r.beginMPI("MPI_Waitall", len(rqs), rqs)
+	defer r.endMPI(f, len(rqs), rqs)
+	for _, rq := range rqs {
+		r.waitInternal(rq, r.waitDescr(rq))
+	}
+}
+
+// Sendrecv is MPI_Sendrecv: a simultaneous send and receive, deadlock-free.
+// Probe args mirror C MPI: (sendbuf, sendcount, sendtype, dest, sendtag,
+// recvbuf, recvcount, recvtype, source, recvtag, comm).
+func (c *Comm) Sendrecv(r *Rank, sdata []byte, scount int, sdt Datatype, dest, stag int,
+	rbuf []byte, rcount int, rdt Datatype, src, rtag int) (*Request, error) {
+	f := r.beginMPI("MPI_Sendrecv", sdata, scount, sdt, dest, stag, rbuf, rcount, rdt, src, rtag, c)
+	defer r.endMPI(f, sdata, scount, sdt, dest, stag, rbuf, rcount, rdt, src, rtag, c)
+	r.SystemCompute(c.w.Impl.Cost.SendOverhead + c.w.Impl.Cost.RecvOverhead)
+	rrq, err := r.irecvInternal(c, src, rtag, rcount, rdt, rbuf)
+	if err != nil {
+		return nil, err
+	}
+	srq, err := r.isendInternal(c, dest, stag, scount, sdt, sdata, false)
+	if err != nil {
+		return nil, err
+	}
+	r.waitInternal(srq, r.waitDescr(srq))
+	r.waitInternal(rrq, r.waitDescr(rrq))
+	return rrq, nil
+}
+
+// UnexpectedCount reports the current unexpected-queue length (observable
+// for tests and queue diagnostics).
+func (r *Rank) UnexpectedCount() int { return len(r.unexpected) }

@@ -1,0 +1,63 @@
+package mpi
+
+// Message probing: MPI_Probe, MPI_Iprobe and MPI_Get_count. Programs like
+// wrong-way's defensive variants use these to inspect pending messages
+// before posting receives; the blocking probe accrues synchronization
+// waiting time like a receive.
+
+// Status describes a pending or received message.
+type Status struct {
+	Source int
+	Tag    int
+	bytes  int
+}
+
+// GetCount is MPI_Get_count: the element count of the message in dt units
+// (-1 if the byte count is not divisible, mirroring MPI_UNDEFINED).
+func (st *Status) GetCount(dt Datatype) int {
+	if sz := dt.Size(); sz > 0 && st.bytes%sz == 0 {
+		return st.bytes / sz
+	}
+	return -1
+}
+
+// findUnexpectedPeek finds (without consuming) the first queued message
+// matching (commID, src, tag).
+func (r *Rank) findUnexpectedPeek(commID, src, tag int) *message {
+	for _, m := range r.unexpected {
+		if m.commID == commID &&
+			(src == AnySource || src == m.srcRank) &&
+			(tag == AnyTag || tag == m.tag) {
+			return m
+		}
+	}
+	return nil
+}
+
+// Iprobe is MPI_Iprobe: a non-blocking check for a matching pending
+// message. Probe args: (source, tag, comm, flag, status).
+func (c *Comm) Iprobe(r *Rank, src, tag int) (bool, *Status, error) {
+	f := r.beginMPI("MPI_Iprobe", src, tag, c, nil, nil)
+	defer r.endMPI(f, src, tag, c, nil, nil)
+	r.SystemCompute(c.w.Impl.Cost.RecvOverhead / 4)
+	if m := r.findUnexpectedPeek(c.id, src, tag); m != nil {
+		return true, &Status{Source: m.srcRank, Tag: m.tag, bytes: m.bytes}, nil
+	}
+	return false, nil, nil
+}
+
+// ProbeMsg is MPI_Probe: block until a matching message is pending, without
+// receiving it. Probe args: (source, tag, comm, status).
+func (c *Comm) ProbeMsg(r *Rank, src, tag int) (*Status, error) {
+	f := r.beginMPI("MPI_Probe", src, tag, c, nil)
+	defer r.endMPI(f, src, tag, c, nil)
+	r.SystemCompute(c.w.Impl.Cost.RecvOverhead / 4)
+	r.enterLibraryWait()
+	defer r.exitLibraryWait()
+	for {
+		if m := r.findUnexpectedPeek(c.id, src, tag); m != nil {
+			return &Status{Source: m.srcRank, Tag: m.tag, bytes: m.bytes}, nil
+		}
+		r.block("MPI_Probe")
+	}
+}

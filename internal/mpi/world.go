@@ -1,0 +1,257 @@
+package mpi
+
+import (
+	"fmt"
+
+	"pperf/internal/cluster"
+	"pperf/internal/probe"
+	"pperf/internal/sim"
+)
+
+// Program is the body of a simulated MPI application process.
+type Program func(r *Rank, args []string)
+
+// Hooks are resource-discovery callbacks. The performance tool's daemons
+// register hooks to learn about new processes, communicators, RMA windows,
+// spawn operations, and name changes at run time — the events behind the
+// dynamic resource hierarchy of §4.2. All fields are optional.
+type Hooks struct {
+	ProcessStarted func(r *Rank)
+	ProcessExited  func(r *Rank)
+	CommCreated    func(r *Rank, c *Comm)
+	WinCreated     func(r *Rank, w *Win)
+	WinFreed       func(r *Rank, w *Win)
+	// NameSet fires for MPI_Comm_set_name / MPI_Win_set_name; obj is the
+	// *Comm or *Win.
+	NameSet func(r *Rank, obj any, name string)
+	// Spawned fires once per spawn operation, from the root parent's
+	// context, after the child ranks exist but before they start running.
+	Spawned func(parent *Rank, children []*Rank)
+}
+
+// ProcEntry is one row of the MPIR debugging-interface process table
+// (§4.2.2's attach method queries this).
+type ProcEntry struct {
+	GlobalID int
+	Node     int
+	Program  string
+	Rank     int
+}
+
+// World is a simulated MPI universe: the cluster, the implementation
+// personality, the set of processes, and the program registry for spawn.
+type World struct {
+	Eng  *sim.Engine
+	Spec *cluster.Spec
+	Impl *Impl
+
+	// FS is a tiny in-memory filesystem for things like LAM application
+	// schema files named by Info keys.
+	FS map[string]string
+
+	// SpawnInterceptor models the intercept method of spawn support
+	// (§4.2.2): a PMPI wrapper that replaces the spawned command with the
+	// tool daemon, adding overhead to the spawn operation itself. When set,
+	// its return value is charged to the spawning root.
+	SpawnInterceptor func(parent *Rank, maxprocs int) sim.Duration
+
+	programs  map[string]Program
+	hooks     []*Hooks
+	ranks     []*Rank
+	appFuncs  map[string]*probe.Function
+	nextComm  int
+	winFree   []int // freed implementation window ids (reused by LAM-like impls)
+	winNext   int
+	winSerial int
+	proctable []ProcEntry
+}
+
+// NewWorld creates a simulated MPI universe on the given cluster with the
+// given implementation personality.
+func NewWorld(eng *sim.Engine, spec *cluster.Spec, impl *Impl) *World {
+	return &World{
+		Eng:      eng,
+		Spec:     spec,
+		Impl:     impl,
+		FS:       map[string]string{},
+		programs: map[string]Program{},
+		appFuncs: map[string]*probe.Function{},
+	}
+}
+
+// Register adds a named program so it can be launched or spawned.
+func (w *World) Register(name string, p Program) { w.programs[name] = p }
+
+// AddHooks registers resource-discovery callbacks.
+func (w *World) AddHooks(h *Hooks) { w.hooks = append(w.hooks, h) }
+
+// Ranks returns every rank ever created, by global id.
+func (w *World) Ranks() []*Rank { return w.ranks }
+
+// Proctable returns the MPIR-style process table: every application process
+// with its location. Debugger-style tools use it for the attach method.
+func (w *World) Proctable() []ProcEntry { return append([]ProcEntry(nil), w.proctable...) }
+
+// Launch starts the named program on the given placements, returning the
+// group's MPI_COMM_WORLD. The processes begin running when the engine runs.
+func (w *World) Launch(prog string, placements []cluster.Placement, args []string) (*Comm, error) {
+	p, ok := w.programs[prog]
+	if !ok {
+		return nil, fmt.Errorf("mpi: no program registered as %q", prog)
+	}
+	return w.startGroup(prog, p, placements, args, nil), nil
+}
+
+// LaunchN is Launch with simple block placement: ranks fill each node's CPU
+// slots in order, wrapping if oversubscribed.
+func (w *World) LaunchN(prog string, n int, args []string) (*Comm, error) {
+	placements := make([]cluster.Placement, n)
+	total := w.Spec.NumCPUs()
+	for i := range placements {
+		placements[i] = cluster.Placement{Rank: i, Node: w.Spec.CPUToNode(i % total)}
+	}
+	return w.Launch(prog, placements, args)
+}
+
+// startGroup creates the ranks of one COMM_WORLD (initial launch or spawn)
+// and starts their processes at the current virtual time.
+func (w *World) startGroup(progName string, p Program, placements []cluster.Placement, args []string, parent *Comm) *Comm {
+	group := make([]*Rank, len(placements))
+	comm := w.newComm(group, nil)
+	comm.name = "MPI_COMM_WORLD"
+	if len(group) == 0 {
+		return comm
+	}
+	for i, pl := range placements {
+		r := &Rank{
+			w:          w,
+			global:     len(w.ranks),
+			rank:       i,
+			node:       pl.Node,
+			world:      comm,
+			parentComm: parent,
+			progName:   progName,
+			credits:    map[int]int{},
+		}
+		r.probes = probe.NewProcess(fmt.Sprintf("%s{%d}", progName, r.global), r)
+		group[i] = r
+		w.ranks = append(w.ranks, r)
+		w.proctable = append(w.proctable, ProcEntry{
+			GlobalID: r.global, Node: pl.Node, Program: progName, Rank: i,
+		})
+	}
+	comm.initSync = &syncPoint{n: len(group)}
+	w.fireCommCreated(group[0], comm)
+	for _, r := range group {
+		r := r
+		r.proc = w.Eng.StartProc(r.probes.Name(), func(sp *sim.Proc) {
+			sp.Val = r
+			for _, h := range w.hooks {
+				if h.ProcessStarted != nil {
+					h.ProcessStarted(r)
+				}
+			}
+			r.Init()
+			p(r, args)
+			if !r.finalized {
+				r.Finalize()
+			}
+			for _, h := range w.hooks {
+				if h.ProcessExited != nil {
+					h.ProcessExited(r)
+				}
+			}
+		})
+	}
+	return comm
+}
+
+// newComm allocates a communicator over the given local (and, for
+// intercommunicators, remote) groups.
+func (w *World) newComm(local, remote []*Rank) *Comm {
+	w.nextComm++
+	return &Comm{w: w, id: w.nextComm, local: local, remote: remote}
+}
+
+// allocWinID hands out an implementation window id, reusing freed ids when
+// the personality does (this is what forces the tool's N-M unique naming).
+func (w *World) allocWinID() (implID int, unique string) {
+	w.winSerial++
+	if w.Impl.ReusesWindowIDs && len(w.winFree) > 0 {
+		implID = w.winFree[0]
+		w.winFree = w.winFree[1:]
+	} else {
+		implID = w.winNext
+		w.winNext++
+	}
+	return implID, fmt.Sprintf("%d-%d", implID, w.winSerial)
+}
+
+func (w *World) freeWinID(id int) {
+	if w.Impl.ReusesWindowIDs {
+		// Lowest-id-first reuse.
+		pos := 0
+		for pos < len(w.winFree) && w.winFree[pos] < id {
+			pos++
+		}
+		w.winFree = append(w.winFree[:pos], append([]int{id}, w.winFree[pos:]...)...)
+	}
+}
+
+// appFunc returns (creating once) the probe.Function for an application
+// procedure in the given source module.
+func (w *World) appFunc(module, name string) *probe.Function {
+	key := module + "\x00" + name
+	f, ok := w.appFuncs[key]
+	if !ok {
+		f = &probe.Function{Name: name, Module: module}
+		w.appFuncs[key] = f
+	}
+	return f
+}
+
+// fireCommCreated notifies hooks of a new communicator resource.
+func (w *World) fireCommCreated(r *Rank, c *Comm) {
+	for _, h := range w.hooks {
+		if h.CommCreated != nil {
+			h.CommCreated(r, c)
+		}
+	}
+}
+
+// syncPoint is a reusable N-party internal barrier used for the
+// implementation-internal synchronization of MPI_Init, MPI_Win_create,
+// collective spawn, etc. It is invisible to the tool (no probes fire).
+type syncPoint struct {
+	n       int
+	arrived int
+	gen     int
+	maxT    sim.Time
+	cond    sim.Cond
+}
+
+// wait blocks the rank until all n parties have arrived; everyone resumes at
+// the latest arrival time.
+func (sp *syncPoint) wait(r *Rank, what string) {
+	if sp.n <= 1 {
+		return
+	}
+	gen := sp.gen
+	if r.Now() > sp.maxT {
+		sp.maxT = r.Now()
+	}
+	sp.arrived++
+	if sp.arrived == sp.n {
+		release := sp.maxT
+		sp.arrived = 0
+		sp.maxT = 0
+		sp.gen++
+		sp.cond.Broadcast(release)
+		return
+	}
+	r.enterLibraryWait()
+	for gen == sp.gen {
+		sp.cond.Wait(r.proc, what)
+	}
+	r.exitLibraryWait()
+}

@@ -1,0 +1,109 @@
+package pcl
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `
+// The paper's §4.1 daemon definition with the new attribute.
+daemon pd_lam {
+    command "paradynd";
+    flavor mpi;
+    mpi_implementation "lam";
+}
+daemon pd_mpich {
+    command "paradynd";
+    flavor mpi;
+    mpi_implementation "mpich";
+}
+process smallmsg {
+    command "mpirun -np 6 small-messages";
+    daemon pd_lam;
+}
+tunable_constant {
+    "PC_CPUThreshold" 0.2;
+    "PC_SyncThreshold" 0.25;
+}
+mdl {
+resourceList pclfns is procedure { "MPI_Barrier", "PMPI_Barrier" };
+metric pcl_barriers {
+    name "pcl_barriers"; units ops; unitstype unnormalized;
+    aggregateOperator sum; style EventCounter;
+    base is counter {
+        foreach func in pclfns { append preinsn func.entry constrained (* pcl_barriers++; *) }
+    }
+}
+}
+`
+
+func TestParseSample(t *testing.T) {
+	cfg, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Daemons) != 2 {
+		t.Fatalf("daemons = %d", len(cfg.Daemons))
+	}
+	d := cfg.Daemon("pd_lam")
+	if d == nil || d.MPIImplementation != "lam" || d.Command != "paradynd" || d.Flavor != "mpi" {
+		t.Errorf("pd_lam = %+v", d)
+	}
+	if cfg.Daemon("pd_mpich").MPIImplementation != "mpich" {
+		t.Error("pd_mpich impl wrong")
+	}
+	if len(cfg.Processes) != 1 || cfg.Processes[0].Daemon != "pd_lam" {
+		t.Errorf("processes = %+v", cfg.Processes)
+	}
+	if !strings.Contains(cfg.Processes[0].Command, "-np 6") {
+		t.Errorf("command = %q", cfg.Processes[0].Command)
+	}
+	if cfg.Tunable("PC_CPUThreshold", 0.3) != 0.2 {
+		t.Error("tunable not parsed")
+	}
+	if cfg.Tunable("PC_Missing", 0.7) != 0.7 {
+		t.Error("tunable default")
+	}
+	if !strings.Contains(cfg.MDL, "pcl_barriers") {
+		t.Error("embedded MDL missing")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`daemon d { command "x" }`,                            // missing ;
+		`daemon d { mpi_implementation "openmpi"; }`,          // unknown impl
+		`daemon d { bogus "x"; }`,                             // unknown attribute
+		`widget w { }`,                                        // unknown decl
+		`tunable_constant { "x" abc; }`,                       // bad number
+		`daemon d { command "unterminated }`,                  // unterminated string
+		`mdl { { }`,                                           // unbalanced braces
+		`daemon d { command "a"; } daemon d { command "b"; }`, // duplicate
+		`process p { daemon; }`,                               // missing ident... actually daemon then ; → ident fails
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("should fail: %s", src)
+		}
+	}
+}
+
+func TestEmptyAndComments(t *testing.T) {
+	cfg, err := Parse("// nothing but comments\n\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Daemons) != 0 || len(cfg.Processes) != 0 {
+		t.Error("empty config should be empty")
+	}
+}
+
+func TestNestedBracesInMDLBlock(t *testing.T) {
+	cfg, err := Parse(`mdl { metric m { base is counter { } } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cfg.MDL, "base is counter") {
+		t.Errorf("MDL body = %q", cfg.MDL)
+	}
+}

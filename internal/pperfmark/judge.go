@@ -1,0 +1,388 @@
+package pperfmark
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"pperf/internal/consultant"
+	"pperf/internal/core"
+	"pperf/internal/daemon"
+	"pperf/internal/frontend"
+	"pperf/internal/mpi"
+	"pperf/internal/resource"
+	"pperf/internal/sim"
+)
+
+// RunOptions configure a judged suite run.
+type RunOptions struct {
+	Impl   mpi.ImplKind
+	Params Params
+	Nodes  int
+	CPUs   int
+	Seed   uint64
+	// Spawn selects the tool's dynamic-process-creation method.
+	Spawn daemon.SpawnMethod
+	// PC overrides the Performance Consultant configuration; nil selects
+	// the scaled defaults.
+	PC *consultant.Config
+	// DisablePC runs without the Performance Consultant (for histogram
+	// experiments that only need metric series).
+	DisablePC bool
+	// Metrics lists extra whole-program metric series to enable before
+	// launch, retrievable from Result.Extra.
+	Metrics []string
+}
+
+// ScaledPCConfig is the Performance Consultant configuration used for the
+// scaled-down suite runs: everything shrinks together (sampling 0.2 s→50 ms,
+// evaluation 1 s→250 ms), preserving the ratios of the paper's setup.
+func ScaledPCConfig() consultant.Config {
+	cfg := consultant.DefaultConfig()
+	cfg.EvalInterval = 250 * sim.Millisecond
+	cfg.PruneEvals = 10
+	return cfg
+}
+
+// Result is a completed tool-observed run of one suite program.
+type Result struct {
+	Program string
+	Impl    mpi.ImplKind
+	Params  Params
+	Session *core.Session
+	PC      *consultant.Consultant
+	// Verification series enabled for the program's expected totals.
+	BytesSent *frontend.Series
+	PutOps    *frontend.Series
+	GetOps    *frontend.Series
+	AccOps    *frontend.Series
+	RMABytes  *frontend.Series
+	// Extra holds the series requested via RunOptions.Metrics.
+	Extra map[string]*frontend.Series
+	// RunTime is the program's virtual wall-clock duration.
+	RunTime sim.Time
+	// Unsupported is set when the implementation cannot run the program at
+	// all (spawn on MPICH/MPICH2), mirroring the paper's restrictions.
+	Unsupported error
+}
+
+// Run executes one suite program under the full tool (daemons, front end,
+// Performance Consultant) and returns the observed results.
+func Run(name string, opt RunOptions) (*Result, error) {
+	entry := Get(name)
+	if entry == nil {
+		return nil, fmt.Errorf("pperfmark: unknown program %q", name)
+	}
+	prog, params, err := Program(name, opt.Params)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Nodes == 0 {
+		// The paper's runs place at most two ranks per node; default to the
+		// paper's layouts (2 procs → one per node; 6 procs → 2 per node).
+		switch {
+		case strings.HasPrefix(name, "spawn"):
+			opt.Nodes = params.Children + 1
+		case params.Procs <= 2:
+			opt.Nodes = 2
+		default:
+			opt.Nodes = (params.Procs + 1) / 2
+		}
+	}
+	if opt.CPUs == 0 {
+		opt.CPUs = 2
+		if params.Procs <= opt.Nodes {
+			opt.CPUs = 1 // one rank per node
+		}
+	}
+
+	dcfg := daemon.DefaultConfig()
+	dcfg.SampleInterval = 50 * sim.Millisecond
+	dcfg.Spawn = opt.Spawn
+	s, err := core.NewSession(core.Options{
+		Impl:        opt.Impl,
+		Nodes:       opt.Nodes,
+		CPUsPerNode: opt.CPUs,
+		Seed:        opt.Seed,
+		Daemon:      &dcfg,
+		BinWidth:    50 * sim.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+
+	res := &Result{Program: name, Impl: opt.Impl, Params: params, Session: s}
+
+	// The spawn-based programs need an implementation with dynamic process
+	// creation, as §5.2.2 notes (the paper uses only LAM for them).
+	if strings.HasPrefix(name, "spawn") && !s.World.Impl.SupportsSpawn {
+		res.Unsupported = &mpi.ErrUnsupported{Impl: opt.Impl, Feature: "dynamic process creation"}
+		return res, nil
+	}
+	// Passive-target programs were unimplementable in 2004; they run only
+	// under the Reference personality (§5.2.1.1).
+	if entry.NeedsPassive && !s.World.Impl.SupportsPassiveTarget {
+		res.Unsupported = &mpi.ErrUnsupported{Impl: opt.Impl, Feature: "passive target synchronization"}
+		return res, nil
+	}
+
+	s.Register(name, prog)
+
+	// Verification instrumentation for the program's known totals.
+	whole := resource.WholeProgram()
+	if entry.ExpectedBytesSent != nil {
+		res.BytesSent = s.MustEnable("msg_bytes_sent", whole)
+	}
+	if entry.ExpectedPutOps != nil {
+		res.PutOps = s.MustEnable("rma_put_ops", whole)
+	}
+	if entry.ExpectedGetOps != nil {
+		res.GetOps = s.MustEnable("rma_get_ops", whole)
+	}
+	if entry.ExpectedAccOps != nil {
+		res.AccOps = s.MustEnable("rma_acc_ops", whole)
+	}
+	if entry.ExpectedRMABytes != nil {
+		res.RMABytes = s.MustEnable("rma_bytes", whole)
+	}
+	res.Extra = map[string]*frontend.Series{}
+	for _, m := range opt.Metrics {
+		sr, err := s.Enable(m, whole)
+		if err != nil {
+			return nil, err
+		}
+		res.Extra[m] = sr
+	}
+
+	if err := s.Launch(name, params.Procs, nil); err != nil {
+		return nil, err
+	}
+	if !opt.DisablePC {
+		pcCfg := ScaledPCConfig()
+		if opt.PC != nil {
+			pcCfg = *opt.PC
+		}
+		if name == "diffuse-procedure" && opt.PC == nil {
+			// §5.1.6: the 25%-per-process bottleneck needs the CPU
+			// threshold lowered to 0.2 before the Consultant reports it.
+			pcCfg.CPUThreshold = 0.2
+		}
+		res.PC = consultant.New(s.FE, s.Eng, pcCfg)
+		if err := res.PC.Start(); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.Run(); err != nil {
+		return nil, err
+	}
+	res.RunTime = s.Eng.Now()
+	return res, nil
+}
+
+// Verdict is the judged outcome of one run — a row of Table 2 or 3.
+type Verdict struct {
+	Program string
+	Impl    mpi.ImplKind
+	// Pass means the tool behaved as the paper reports for this program
+	// (including system-time, whose "correct" behaviour is failing to find
+	// the bottleneck).
+	Pass bool
+	// PaperResult is the pass/fail the paper's Table records.
+	PaperResult string
+	// Details summarizes what was (or was not) found.
+	Details []string
+	// Problems lists expectation mismatches (empty when Pass).
+	Problems []string
+	// Skipped is non-empty when the implementation cannot run the program.
+	Skipped string
+}
+
+// Judge evaluates a Result against the paper's expectations for the program.
+func Judge(res *Result) *Verdict {
+	v := &Verdict{Program: res.Program, Impl: res.Impl, PaperResult: "Pass"}
+	if res.Unsupported != nil {
+		v.Skipped = res.Unsupported.Error()
+		v.Pass = true
+		return v
+	}
+	pc := res.PC
+	want := func(ok bool, detail, problem string) {
+		if ok {
+			v.Details = append(v.Details, detail)
+		} else {
+			v.Problems = append(v.Problems, problem)
+		}
+	}
+	findSync := func(substr string) bool { return pc.HasFinding(consultant.HypSync, substr) }
+	findCPU := func(substr string) bool { return pc.HasFinding(consultant.HypCPU, substr) }
+	checkTotal := func(series *frontend.Series, expect func(Params) float64, what string) {
+		if series == nil || expect == nil {
+			return
+		}
+		wantV, got := expect(res.Params), series.Total()
+		want(math.Abs(got-wantV) < 0.5,
+			fmt.Sprintf("counted %s = %.0f (expected %.0f)", what, got, wantV),
+			fmt.Sprintf("%s = %.0f, expected %.0f", what, got, wantV))
+	}
+	e := Get(res.Program)
+	checkTotal(res.BytesSent, e.ExpectedBytesSent, "message bytes sent")
+	checkTotal(res.PutOps, e.ExpectedPutOps, "Put ops")
+	checkTotal(res.GetOps, e.ExpectedGetOps, "Get ops")
+	checkTotal(res.AccOps, e.ExpectedAccOps, "Accumulate ops")
+	checkTotal(res.RMABytes, e.ExpectedRMABytes, "RMA bytes")
+
+	switch res.Program {
+	case "small-messages":
+		want(pc.TopLevelTrue(consultant.HypSync), "ExcessiveSyncWaitingTime true", "sync hypothesis false")
+		want(findSync("Gsend_message"), "drilled into Gsend_message", "Gsend_message not found")
+		want(findSync("MPI_Send"), "found MPI_Send", "MPI_Send not found")
+		want(findSync("/SyncObject/Message/comm-"), "identified the communicator", "communicator not identified")
+		if res.Impl == mpi.MPICH {
+			want(pc.TopLevelTrue(consultant.HypIO), "ExcessiveIOBlockingTime true (socket transport)", "IO hypothesis false under MPICH")
+		}
+	case "big-message":
+		want(pc.TopLevelTrue(consultant.HypSync), "ExcessiveSyncWaitingTime true", "sync hypothesis false")
+		want(findSync("Gsend_message") || findSync("Grecv_message"),
+			"drilled into Gsend_message/Grecv_message", "send/recv wrappers not found")
+		want(findSync("MPI_Send") || findSync("MPI_Recv"), "found MPI_Send/MPI_Recv", "MPI p2p functions not found")
+	case "wrong-way":
+		want(pc.TopLevelTrue(consultant.HypSync), "ExcessiveSyncWaitingTime true", "sync hypothesis false")
+		want(findSync("Gsend_message") || findSync("Grecv_message"),
+			"send_message/recv_message are the bottlenecks", "wrappers not found")
+		want(findSync("MPI_Send") || findSync("MPI_Recv"), "found MPI_Send/MPI_Recv", "p2p functions not found")
+	case "intensive-server":
+		want(pc.TopLevelTrue(consultant.HypSync), "ExcessiveSyncWaitingTime true", "sync hypothesis false")
+		want(findSync("Grecv_message"), "drilled through Grecv_message", "Grecv_message not found")
+		want(findSync("MPI_Recv"), "found MPI_Recv", "MPI_Recv not found")
+		want(pc.TopLevelTrue(consultant.HypCPU), "CPUBound true", "CPU hypothesis false")
+	case "random-barrier":
+		want(pc.TopLevelTrue(consultant.HypSync), "ExcessiveSyncWaitingTime true", "sync hypothesis false")
+		want(findSync("MPI_Barrier"), "found MPI_Barrier", "MPI_Barrier not found")
+		want(pc.TopLevelTrue(consultant.HypCPU), "CPUBound true", "CPU hypothesis false")
+		want(findCPU("waste_time"), "pinpointed waste_time", "waste_time not found")
+		if res.Impl == mpi.MPICH {
+			want(findSync("MPI_Sendrecv"), "exposed PMPI_Sendrecv inside the barrier", "barrier internals not exposed")
+		}
+	case "diffuse-procedure":
+		want(pc.TopLevelTrue(consultant.HypSync), "ExcessiveSyncWaitingTime true", "sync hypothesis false")
+		want(findSync("MPI_Barrier"), "found MPI_Barrier", "MPI_Barrier not found")
+		want(findCPU("bottleneckProcedure"), "found bottleneckProcedure with CPU threshold 0.2", "bottleneckProcedure not found")
+	case "system-time":
+		v.PaperResult = "Fail"
+		want(!pc.AnyTrue(), "all hypotheses tested false (no system-time metrics)", "a hypothesis unexpectedly tested true")
+	case "hot-procedure":
+		want(pc.TopLevelTrue(consultant.HypCPU), "CPUBound true", "CPU hypothesis false")
+		want(findCPU("bottleneckProcedure"), "CPU bound in bottleneckProcedure", "bottleneckProcedure not found")
+		want(!findCPU("irrelevantProcedure"), "irrelevant procedures not implicated", "an irrelevantProcedure was implicated")
+	case "sstwod":
+		want(pc.TopLevelTrue(consultant.HypSync), "ExcessiveSyncWaitingTime true", "sync hypothesis false")
+		want(findSync("exchng2"), "drilled into exchng2", "exchng2 not found")
+		want(findSync("MPI_Sendrecv"), "found MPI_Sendrecv", "MPI_Sendrecv not found")
+		want(findSync("MPI_Allreduce"), "found MPI_Allreduce", "MPI_Allreduce not found")
+	case "allcount":
+		// The totals checks above are the test.
+		want(res.Session.FE.Hierarchy().FindPath("/SyncObject/Window/0-1") != nil,
+			"window incorporated into the resource hierarchy", "window resource missing")
+	case "wincreate-blast":
+		judgeWincreateBlast(res, v)
+	case "winfence-sync":
+		want(pc.TopLevelTrue(consultant.HypSync), "ExcessiveSyncWaitingTime true", "sync hypothesis false")
+		want(findSync("MPI_Win_fence"), "ranks wait in MPI_Win_fence", "MPI_Win_fence not found")
+		want(findSync("/SyncObject/Window/"), "identified the RMA window", "window not identified")
+		want(findCPU("waste_time"), "rank 0 CPU bound in waste_time", "waste_time not found")
+	case "winscpw-sync":
+		want(pc.TopLevelTrue(consultant.HypSync), "ExcessiveSyncWaitingTime true", "sync hypothesis false")
+		if res.Impl == mpi.LAM {
+			want(findSync("MPI_Win_start"), "origins block in MPI_Win_start (LAM)", "MPI_Win_start not found")
+		} else {
+			want(findSync("MPI_Win_complete"), "origins block in MPI_Win_complete (MPICH2)", "MPI_Win_complete not found")
+		}
+		want(findSync("/SyncObject/Window/"), "identified the RMA window", "window not identified")
+		want(findCPU("waste_time"), "rank 0 CPU bound in waste_time", "waste_time not found")
+	case "spawncount":
+		judgeSpawncount(res, v)
+	case "spawnsync":
+		want(pc.TopLevelTrue(consultant.HypSync), "ExcessiveSyncWaitingTime true", "sync hypothesis false")
+		want(findSync("childfunction"), "children wait inside childfunction", "childfunction not found")
+		want(findSync("MPI_Recv"), "children wait in MPI_Recv", "MPI_Recv not found")
+		want(findCPU("parentfunction"), "parent CPU bound in parentfunction", "parentfunction not found")
+	case "spawnwin-sync":
+		want(pc.TopLevelTrue(consultant.HypSync), "ExcessiveSyncWaitingTime true", "sync hypothesis false")
+		want(findSync("MPI_Win_fence"), "children wait in MPI_Win_fence", "MPI_Win_fence not found")
+		want(findCPU("parentfunction"), "parent CPU bound in parentfunction", "parentfunction not found")
+		if res.Impl == mpi.LAM {
+			want(findSync("/SyncObject/Message") || findSync("MPI_Isend") || findSync("MPI_Waitall"),
+				"message-passing sync from LAM's Isend/Waitall fence", "LAM fence message traffic not found")
+		}
+		named := false
+		res.Session.FE.Hierarchy().Root().Walk(func(n *resource.Node) {
+			if n.DisplayName() == "ParentChildWindow" {
+				named = true
+			}
+		})
+		want(named, "friendly window name displayed", "window name missing")
+	case "winlock-sync":
+		want(pc.TopLevelTrue(consultant.HypSync), "ExcessiveSyncWaitingTime true", "sync hypothesis false")
+		want(findSync("MPI_Win_lock") || findSync("MPI_Win_unlock"),
+			"origins contend in MPI_Win_lock/MPI_Win_unlock", "passive-target waiting not found")
+		want(findSync("/SyncObject/Window/"), "identified the RMA window", "window not identified")
+	case "fileio-bound":
+		want(pc.TopLevelTrue(consultant.HypIO), "ExcessiveIOBlockingTime true", "IO hypothesis false")
+		want(pc.HasFinding(consultant.HypIO, "MPI_File_write_at") ||
+			pc.HasFinding(consultant.HypIO, "checkpoint"),
+			"drilled into the MPI-I/O writes", "I/O code not found")
+	case "oned":
+		want(pc.TopLevelTrue(consultant.HypSync), "ExcessiveSyncWaitingTime true", "sync hypothesis false")
+		want(findSync("exchng1"), "drilled into exchng1", "exchng1 not found")
+		want(findSync("MPI_Win_fence"), "found MPI_Win_fence", "MPI_Win_fence not found")
+		if res.Impl == mpi.LAM {
+			want(findSync("/SyncObject/Barrier"), "LAM: Barrier sync object implicated (fence is a barrier)", "Barrier not implicated under LAM")
+		}
+	}
+	v.Pass = len(v.Problems) == 0
+	return v
+}
+
+func judgeWincreateBlast(res *Result, v *Verdict) {
+	h := res.Session.FE.Hierarchy()
+	winRoot := h.Find(resource.SyncObject, resource.Window)
+	total, retired := 0, 0
+	seen := map[string]bool{}
+	dups := false
+	for _, w := range winRoot.Children() {
+		total++
+		if w.Retired() {
+			retired++
+		}
+		if seen[w.Name()] {
+			dups = true
+		}
+		seen[w.Name()] = true
+	}
+	wantWindows := res.Params.Windows
+	if total == wantWindows && !dups {
+		v.Details = append(v.Details, fmt.Sprintf("all %d windows detected with unique N-M ids", total))
+	} else {
+		v.Problems = append(v.Problems, fmt.Sprintf("windows detected = %d (dups=%v), want %d", total, dups, wantWindows))
+	}
+	if retired == wantWindows {
+		v.Details = append(v.Details, "all windows retired after MPI_Win_free")
+	} else {
+		v.Problems = append(v.Problems, fmt.Sprintf("retired = %d, want %d", retired, wantWindows))
+	}
+}
+
+func judgeSpawncount(res *Result, v *Verdict) {
+	count := 0
+	res.Session.FE.Hierarchy().Find(resource.Machine).Walk(func(n *resource.Node) {
+		if strings.Contains(n.Name(), "spawncount-child{") {
+			count++
+		}
+	})
+	if count == res.Params.Children {
+		v.Details = append(v.Details, fmt.Sprintf("all %d spawned processes incorporated", count))
+	} else {
+		v.Problems = append(v.Problems, fmt.Sprintf("spawned processes detected = %d, want %d", count, res.Params.Children))
+	}
+}

@@ -1,0 +1,160 @@
+// Package pperfmark implements PPerfMark, the performance-tool benchmark
+// suite the paper introduces (§5): a port of the Grindstone PVM test suite
+// to MPI-1, extended with new MPI-2 programs for RMA, dynamic process
+// creation, and window lifecycle. Each program has a precisely known
+// behaviour — a synchronization bottleneck in a named function, a
+// computational bottleneck, known message/byte/RMA-operation counts — so a
+// performance tool can be judged by whether it finds what is planted
+// (Tables 2 and 3).
+package pperfmark
+
+import (
+	"fmt"
+	"sort"
+
+	"pperf/internal/mpi"
+	"pperf/internal/sim"
+)
+
+// Params configures a PPerfMark program. The zero value of any field means
+// "use the program's default". The paper's parameter values (§5.1, §5.2)
+// are retained in each program's registry entry as PaperParams; the runnable
+// defaults are scaled down so a full suite executes in seconds of wall time,
+// with the scaling recorded in EXPERIMENTS.md.
+type Params struct {
+	// Iterations is the main loop count.
+	Iterations int
+	// MessageSize is the per-message payload in bytes.
+	MessageSize int
+	// Messages is the inner per-iteration message count (wrong-way).
+	Messages int
+	// TimeToWaste is the relative busy-work amount (TIMETOWASTE), in
+	// WasteUnit units.
+	TimeToWaste int
+	// Procs is the MPI process count.
+	Procs int
+	// WasteUnit is the duration of one TimeToWaste unit.
+	WasteUnit sim.Duration
+	// Windows is the window count for wincreate-blast.
+	Windows int
+	// Children is the spawned process count for the spawn programs.
+	Children int
+}
+
+// merged fills zero fields of p from d.
+func (p Params) merged(d Params) Params {
+	if p.Iterations == 0 {
+		p.Iterations = d.Iterations
+	}
+	if p.MessageSize == 0 {
+		p.MessageSize = d.MessageSize
+	}
+	if p.Messages == 0 {
+		p.Messages = d.Messages
+	}
+	if p.TimeToWaste == 0 {
+		p.TimeToWaste = d.TimeToWaste
+	}
+	if p.Procs == 0 {
+		p.Procs = d.Procs
+	}
+	if p.WasteUnit == 0 {
+		p.WasteUnit = d.WasteUnit
+	}
+	if p.Windows == 0 {
+		p.Windows = d.Windows
+	}
+	if p.Children == 0 {
+		p.Children = d.Children
+	}
+	return p
+}
+
+func (p Params) waste() sim.Duration {
+	return sim.Duration(p.TimeToWaste) * p.WasteUnit
+}
+
+// Entry describes one suite program.
+type Entry struct {
+	Name string
+	// MPI2 marks the MPI-2 portion of the suite (Table 3 vs Table 2).
+	MPI2 bool
+	// Description matches the paper's program characteristics column.
+	Description string
+	// Defaults are the scaled runnable parameters.
+	Defaults Params
+	// PaperParams are the values the paper used, for reference.
+	PaperParams string
+	// Make builds the program for the given (merged) parameters.
+	Make func(p Params) mpi.Program
+	// NeedsPassive marks programs requiring passive-target RMA, which only
+	// the Reference personality provides (the paper's unimplementable
+	// passive-target tests, §5.2.1.1).
+	NeedsPassive bool
+	// Extension marks programs beyond the paper's Tables (delivered future
+	// work); RunTable excludes them unless asked.
+	Extension bool
+	// Expected totals for verification, given merged params; nil entries
+	// are skipped.
+	ExpectedBytesSent func(p Params) float64
+	ExpectedPutOps    func(p Params) float64
+	ExpectedGetOps    func(p Params) float64
+	ExpectedAccOps    func(p Params) float64
+	ExpectedRMABytes  func(p Params) float64
+}
+
+var registry = map[string]*Entry{}
+var order []string
+
+func register(e *Entry) {
+	if _, dup := registry[e.Name]; dup {
+		panic("pperfmark: duplicate program " + e.Name)
+	}
+	registry[e.Name] = e
+	order = append(order, e.Name)
+}
+
+// Get returns the named program entry, or nil.
+func Get(name string) *Entry { return registry[name] }
+
+// Names lists all programs in suite order.
+func Names() []string { return append([]string(nil), order...) }
+
+// MPI1Names and MPI2Names list the two paper-suite halves (extensions
+// excluded); ExtensionNames lists the delivered-future-work programs.
+func MPI1Names() []string { return filterNames(false, false) }
+func MPI2Names() []string { return filterNames(true, false) }
+
+// ExtensionNames lists the programs beyond the paper's tables.
+func ExtensionNames() []string {
+	var out []string
+	for _, n := range order {
+		if registry[n].Extension {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func filterNames(mpi2, ext bool) []string {
+	var out []string
+	for _, n := range order {
+		if registry[n].MPI2 == mpi2 && registry[n].Extension == ext {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Program builds the named program with params merged over its defaults,
+// returning the merged params used.
+func Program(name string, p Params) (mpi.Program, Params, error) {
+	e := registry[name]
+	if e == nil {
+		known := Names()
+		sort.Strings(known)
+		return nil, Params{}, fmt.Errorf("pperfmark: unknown program %q (known: %v)", name, known)
+	}
+	mp := p.merged(e.Defaults)
+	return e.Make(mp), mp, nil
+}

@@ -1,0 +1,183 @@
+package pperfmark
+
+import (
+	"testing"
+
+	"pperf/internal/mpi"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	mpi1 := []string{"small-messages", "big-message", "wrong-way", "intensive-server",
+		"random-barrier", "diffuse-procedure", "system-time", "hot-procedure", "sstwod"}
+	mpi2 := []string{"allcount", "wincreate-blast", "winfence-sync", "winscpw-sync",
+		"spawncount", "spawnsync", "spawnwin-sync", "oned"}
+	ext := []string{"winlock-sync", "fileio-bound"}
+	for _, n := range mpi1 {
+		e := Get(n)
+		if e == nil || e.MPI2 {
+			t.Errorf("MPI-1 program %s missing or misfiled", n)
+		}
+	}
+	for _, n := range mpi2 {
+		e := Get(n)
+		if e == nil || !e.MPI2 {
+			t.Errorf("MPI-2 program %s missing or misfiled", n)
+		}
+	}
+	for _, n := range ext {
+		e := Get(n)
+		if e == nil || !e.Extension {
+			t.Errorf("extension program %s missing or misfiled", n)
+		}
+	}
+	if len(MPI1Names()) != len(mpi1) || len(MPI2Names()) != len(mpi2) || len(ExtensionNames()) != len(ext) {
+		t.Errorf("suite sizes: %d/%d/%d, want %d/%d/%d",
+			len(MPI1Names()), len(MPI2Names()), len(ExtensionNames()), len(mpi1), len(mpi2), len(ext))
+	}
+}
+
+func TestParamsMerge(t *testing.T) {
+	d := Params{Iterations: 100, Procs: 4, MessageSize: 8}
+	p := Params{Iterations: 5}.merged(d)
+	if p.Iterations != 5 || p.Procs != 4 || p.MessageSize != 8 {
+		t.Errorf("merged = %+v", p)
+	}
+}
+
+func TestUnknownProgram(t *testing.T) {
+	if _, _, err := Program("nope", Params{}); err == nil {
+		t.Error("unknown program should error")
+	}
+	if _, err := Run("nope", RunOptions{Impl: mpi.LAM}); err == nil {
+		t.Error("Run of unknown program should error")
+	}
+}
+
+// judgePass runs a program with reduced iterations and asserts the verdict.
+func judgePass(t *testing.T, name string, impl mpi.ImplKind, p Params) *Verdict {
+	t.Helper()
+	res, err := Run(name, RunOptions{Impl: impl, Params: p})
+	if err != nil {
+		t.Fatalf("%s/%s: %v", name, impl, err)
+	}
+	v := Judge(res)
+	if !v.Pass {
+		t.Errorf("%s/%s failed: %v\n%s", name, impl, v.Problems, res.PC.Render())
+	}
+	return v
+}
+
+func TestSmallMessagesLAM(t *testing.T) {
+	v := judgePass(t, "small-messages", mpi.LAM, Params{Iterations: 15000})
+	if len(v.Details) == 0 {
+		t.Error("no details recorded")
+	}
+}
+
+func TestSmallMessagesMPICHShowsIO(t *testing.T) {
+	judgePass(t, "small-messages", mpi.MPICH, Params{Iterations: 15000})
+}
+
+func TestBigMessage(t *testing.T) {
+	judgePass(t, "big-message", mpi.LAM, Params{Iterations: 800})
+	judgePass(t, "big-message", mpi.MPICH, Params{Iterations: 800})
+}
+
+func TestWrongWay(t *testing.T) {
+	judgePass(t, "wrong-way", mpi.LAM, Params{})
+	judgePass(t, "wrong-way", mpi.MPICH, Params{})
+}
+
+func TestIntensiveServer(t *testing.T) {
+	judgePass(t, "intensive-server", mpi.LAM, Params{Iterations: 100})
+}
+
+func TestRandomBarrier(t *testing.T) {
+	judgePass(t, "random-barrier", mpi.LAM, Params{Iterations: 250})
+	judgePass(t, "random-barrier", mpi.MPICH, Params{Iterations: 250})
+}
+
+func TestDiffuseProcedure(t *testing.T) {
+	judgePass(t, "diffuse-procedure", mpi.LAM, Params{})
+}
+
+func TestSystemTimeExpectedFail(t *testing.T) {
+	v := judgePass(t, "system-time", mpi.LAM, Params{})
+	if v.PaperResult != "Fail" {
+		t.Error("system-time should be recorded as the paper's designed failure")
+	}
+}
+
+func TestHotProcedure(t *testing.T) {
+	judgePass(t, "hot-procedure", mpi.LAM, Params{})
+}
+
+func TestSstwod(t *testing.T) {
+	judgePass(t, "sstwod", mpi.LAM, Params{})
+}
+
+func TestAllcount(t *testing.T) {
+	judgePass(t, "allcount", mpi.LAM, Params{})
+	judgePass(t, "allcount", mpi.MPICH2, Params{})
+}
+
+func TestWincreateBlast(t *testing.T) {
+	judgePass(t, "wincreate-blast", mpi.LAM, Params{})
+}
+
+func TestWinfenceSync(t *testing.T) {
+	judgePass(t, "winfence-sync", mpi.LAM, Params{})
+	judgePass(t, "winfence-sync", mpi.MPICH2, Params{})
+}
+
+func TestWinscpwSyncImplDifference(t *testing.T) {
+	judgePass(t, "winscpw-sync", mpi.LAM, Params{})
+	judgePass(t, "winscpw-sync", mpi.MPICH2, Params{})
+}
+
+func TestSpawncount(t *testing.T) {
+	judgePass(t, "spawncount", mpi.LAM, Params{})
+}
+
+func TestSpawnsync(t *testing.T) {
+	judgePass(t, "spawnsync", mpi.LAM, Params{})
+}
+
+func TestSpawnwinSync(t *testing.T) {
+	judgePass(t, "spawnwin-sync", mpi.LAM, Params{})
+}
+
+func TestOned(t *testing.T) {
+	judgePass(t, "oned", mpi.LAM, Params{})
+	judgePass(t, "oned", mpi.MPICH2, Params{})
+}
+
+func TestWinlockSyncExtension(t *testing.T) {
+	// The paper's unimplementable passive-target test, delivered on the
+	// Reference personality.
+	judgePass(t, "winlock-sync", mpi.Reference, Params{})
+	// Under LAM (no passive target in 2004), it is skipped.
+	res, err := Run("winlock-sync", RunOptions{Impl: mpi.LAM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := Judge(res); v.Skipped == "" {
+		t.Error("winlock-sync under LAM should be skipped as unsupported")
+	}
+}
+
+func TestFileioBound(t *testing.T) {
+	judgePass(t, "fileio-bound", mpi.MPICH2, Params{})
+	judgePass(t, "fileio-bound", mpi.LAM, Params{})
+}
+
+func TestSpawnProgramsSkippedOnMPICH2(t *testing.T) {
+	res, err := Run("spawnsync", RunOptions{Impl: mpi.MPICH2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := Judge(res)
+	if v.Skipped == "" {
+		t.Error("spawnsync under MPICH2 should be skipped as unsupported")
+	}
+}

@@ -1,0 +1,288 @@
+// Package probe implements the dynamic-instrumentation layer of the tool:
+// the analogue of Paradyn's runtime code patching. Simulated programs route
+// every traced function call (MPI routines and application procedures)
+// through a per-process dispatch table; the performance tool inserts and
+// deletes probe handlers at function entry and return points *while the
+// program runs*, which is what lets the Performance Consultant pay the cost
+// of measurement only where a problem is suspected.
+package probe
+
+import (
+	"fmt"
+	"sort"
+
+	"pperf/internal/sim"
+)
+
+// Where identifies an instrumentation point within a function.
+type Where int
+
+const (
+	// Entry instruments the function's entry (Paradyn's func.entry).
+	Entry Where = iota
+	// Return instruments the function's return (Paradyn's func.return).
+	Return
+)
+
+func (w Where) String() string {
+	if w == Entry {
+		return "entry"
+	}
+	return "return"
+}
+
+// Order says where in an instrumentation point's probe list a new probe
+// lands, matching MDL's append/prepend.
+type Order int
+
+const (
+	Append Order = iota
+	Prepend
+)
+
+// Function describes an instrumentable function: its symbol name and the
+// module (source file or library) it belongs to, which is where it appears
+// in the tool's Code resource hierarchy.
+type Function struct {
+	Name   string
+	Module string
+}
+
+// Event is the information delivered to a probe handler when its
+// instrumentation point executes.
+type Event struct {
+	Proc  *Process
+	Func  *Function
+	Where Where
+	// Args are the traced call's arguments ($arg[n] in MDL). At Return
+	// points the same argument vector as at Entry is visible, matching how
+	// Paradyn reads registers/stack at the return point.
+	Args []any
+	// Time is the process-local virtual time of the event.
+	Time sim.Time
+	// CPUTime is the process's accumulated user CPU (process) time.
+	CPUTime sim.Duration
+}
+
+// Arg returns Args[i], or nil if out of range (MDL's $arg[i]).
+func (ev *Event) Arg(i int) any {
+	if i < 0 || i >= len(ev.Args) {
+		return nil
+	}
+	return ev.Args[i]
+}
+
+// Handler is a probe body. Handlers run synchronously in the traced
+// process's context.
+type Handler func(ev *Event)
+
+// ID identifies an inserted probe so it can be deleted.
+type ID int64
+
+type probeRec struct {
+	id ID
+	fn Handler
+}
+
+type funcInstr struct {
+	entry []probeRec
+	ret   []probeRec
+}
+
+// Clock provides a process's notion of time to the probe layer.
+type Clock interface {
+	// Now is the process's local virtual time.
+	Now() sim.Time
+	// CPUTime is the process's accumulated user CPU time.
+	CPUTime() sim.Duration
+	// AddOverhead charges instrumentation-execution cost to the process.
+	AddOverhead(d sim.Duration)
+}
+
+// Process holds one simulated process's instrumentation state. It is not
+// safe for concurrent use; the simulation engine guarantees sequential
+// execution.
+type Process struct {
+	name   string
+	clock  Clock
+	instr  map[string]*funcInstr
+	nextID ID
+	where  map[ID]string // probe id → function name, for removal
+
+	// PerProbeCost is the virtual-time overhead charged to the process for
+	// each probe execution (the instrumentation-perturbation model; see the
+	// probe-overhead ablation).
+	PerProbeCost sim.Duration
+
+	// Executions counts probe-handler executions, for overhead reporting.
+	Executions int64
+
+	// stack is the dynamic call stack of traced functions, used for
+	// call-graph discovery and inclusive-metric constraints.
+	stack []*Function
+
+	// edges records observed caller→callee pairs for the Performance
+	// Consultant's call-graph-based search.
+	edges map[[2]string]bool
+
+	// OnFirstCall, if non-nil, is invoked the first time each distinct
+	// function executes in this process (function resource discovery).
+	OnFirstCall func(f *Function)
+
+	seen map[string]bool
+}
+
+// NewProcess creates the instrumentation state for one process.
+func NewProcess(name string, clock Clock) *Process {
+	return &Process{
+		name:  name,
+		clock: clock,
+		instr: map[string]*funcInstr{},
+		where: map[ID]string{},
+		edges: map[[2]string]bool{},
+		seen:  map[string]bool{},
+	}
+}
+
+// Name returns the process name.
+func (p *Process) Name() string { return p.name }
+
+// Insert adds a probe at the given point of the named function and returns
+// its removal ID. Insertion takes effect immediately: the next execution of
+// the point runs the handler. This is the "dynamic" in dynamic
+// instrumentation — it happens mid-run.
+func (p *Process) Insert(fn string, w Where, ord Order, h Handler) ID {
+	fi := p.instr[fn]
+	if fi == nil {
+		fi = &funcInstr{}
+		p.instr[fn] = fi
+	}
+	p.nextID++
+	id := p.nextID
+	rec := probeRec{id: id, fn: h}
+	list := &fi.entry
+	if w == Return {
+		list = &fi.ret
+	}
+	if ord == Prepend {
+		*list = append([]probeRec{rec}, *list...)
+	} else {
+		*list = append(*list, rec)
+	}
+	p.where[id] = fn
+	return id
+}
+
+// Remove deletes a previously inserted probe. Removing an unknown ID is a
+// no-op, mirroring how deleting already-removed instrumentation is harmless.
+func (p *Process) Remove(id ID) {
+	fn, ok := p.where[id]
+	if !ok {
+		return
+	}
+	delete(p.where, id)
+	fi := p.instr[fn]
+	if fi == nil {
+		return
+	}
+	fi.entry = removeRec(fi.entry, id)
+	fi.ret = removeRec(fi.ret, id)
+}
+
+func removeRec(list []probeRec, id ID) []probeRec {
+	for i, r := range list {
+		if r.id == id {
+			return append(list[:i:i], list[i+1:]...)
+		}
+	}
+	return list
+}
+
+// ActiveProbes returns the number of currently inserted probes.
+func (p *Process) ActiveProbes() int { return len(p.where) }
+
+// Enter fires the entry point of f. Programs and the MPI runtime call this
+// (via higher-level wrappers) at the start of every traced function.
+func (p *Process) Enter(f *Function, args ...any) {
+	if !p.seen[f.Name] {
+		p.seen[f.Name] = true
+		if p.OnFirstCall != nil {
+			p.OnFirstCall(f)
+		}
+	}
+	if n := len(p.stack); n > 0 {
+		p.edges[[2]string{p.stack[n-1].Name, f.Name}] = true
+	}
+	p.stack = append(p.stack, f)
+	p.fire(f, Entry, args)
+}
+
+// Leave fires the return point of f and pops the call stack.
+func (p *Process) Leave(f *Function, args ...any) {
+	p.fire(f, Return, args)
+	if n := len(p.stack); n > 0 && p.stack[n-1] == f {
+		p.stack = p.stack[:n-1]
+	}
+}
+
+// fire runs the probes installed at (f, w).
+func (p *Process) fire(f *Function, w Where, args []any) {
+	fi := p.instr[f.Name]
+	if fi == nil {
+		return
+	}
+	list := fi.entry
+	if w == Return {
+		list = fi.ret
+	}
+	if len(list) == 0 {
+		return
+	}
+	ev := Event{
+		Proc: p, Func: f, Where: w, Args: args,
+		Time: p.clock.Now(), CPUTime: p.clock.CPUTime(),
+	}
+	for _, r := range list {
+		r.fn(&ev)
+		p.Executions++
+	}
+	if p.PerProbeCost > 0 {
+		p.clock.AddOverhead(sim.Duration(len(list)) * p.PerProbeCost)
+	}
+}
+
+// Stack returns the current traced call stack (innermost last).
+func (p *Process) Stack() []*Function { return p.stack }
+
+// InFunction reports whether the named function is anywhere on the current
+// call stack — the predicate behind inclusive procedure constraints.
+func (p *Process) InFunction(name string) bool {
+	for _, f := range p.stack {
+		if f.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// CallEdges returns the observed caller→callee pairs, sorted, as
+// "caller→callee" strings. The daemon forwards these to the front end for
+// the Performance Consultant's call-graph search.
+func (p *Process) CallEdges() [][2]string {
+	out := make([][2]string, 0, len(p.edges))
+	for e := range p.edges {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// String describes the process's instrumentation state.
+func (p *Process) String() string {
+	return fmt.Sprintf("probe.Process(%s, %d probes)", p.name, len(p.where))
+}

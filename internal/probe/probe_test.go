@@ -1,0 +1,224 @@
+package probe
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pperf/internal/sim"
+)
+
+// fakeClock implements Clock for tests.
+type fakeClock struct {
+	now      sim.Time
+	cpu      sim.Duration
+	overhead sim.Duration
+}
+
+func (c *fakeClock) Now() sim.Time              { return c.now }
+func (c *fakeClock) CPUTime() sim.Duration      { return c.cpu }
+func (c *fakeClock) AddOverhead(d sim.Duration) { c.overhead += d }
+
+var fSend = &Function{Name: "MPI_Send", Module: "libmpi"}
+var fApp = &Function{Name: "Gsend_message", Module: "app.c"}
+
+func TestInsertFireRemove(t *testing.T) {
+	clk := &fakeClock{}
+	p := NewProcess("p0", clk)
+	count := 0
+	id := p.Insert("MPI_Send", Entry, Append, func(ev *Event) { count++ })
+	p.Enter(fSend, nil, 10)
+	p.Leave(fSend, nil, 10)
+	if count != 1 {
+		t.Fatalf("count = %d, want 1", count)
+	}
+	p.Remove(id)
+	p.Enter(fSend)
+	p.Leave(fSend)
+	if count != 1 {
+		t.Errorf("probe fired after removal")
+	}
+	if p.ActiveProbes() != 0 {
+		t.Errorf("ActiveProbes = %d", p.ActiveProbes())
+	}
+}
+
+func TestEntryAndReturnProbesSeparate(t *testing.T) {
+	p := NewProcess("p0", &fakeClock{})
+	var seq []string
+	p.Insert("f", Entry, Append, func(*Event) { seq = append(seq, "entry") })
+	p.Insert("f", Return, Append, func(*Event) { seq = append(seq, "return") })
+	f := &Function{Name: "f"}
+	p.Enter(f)
+	p.Leave(f)
+	if len(seq) != 2 || seq[0] != "entry" || seq[1] != "return" {
+		t.Errorf("seq = %v", seq)
+	}
+}
+
+func TestPrependOrdering(t *testing.T) {
+	p := NewProcess("p0", &fakeClock{})
+	var seq []int
+	p.Insert("f", Entry, Append, func(*Event) { seq = append(seq, 1) })
+	p.Insert("f", Entry, Append, func(*Event) { seq = append(seq, 2) })
+	p.Insert("f", Entry, Prepend, func(*Event) { seq = append(seq, 0) })
+	f := &Function{Name: "f"}
+	p.Enter(f)
+	if len(seq) != 3 || seq[0] != 0 || seq[1] != 1 || seq[2] != 2 {
+		t.Errorf("seq = %v, want [0 1 2]", seq)
+	}
+}
+
+func TestEventCarriesArgsAndTime(t *testing.T) {
+	clk := &fakeClock{now: sim.Time(5 * sim.Second), cpu: 3 * sim.Second}
+	p := NewProcess("p0", clk)
+	var got *Event
+	p.Insert("MPI_Send", Entry, Append, func(ev *Event) {
+		e := *ev
+		got = &e
+	})
+	p.Enter(fSend, "buf", 42, "MPI_INT")
+	if got == nil {
+		t.Fatal("probe did not fire")
+	}
+	if got.Arg(1) != 42 || got.Arg(2) != "MPI_INT" {
+		t.Errorf("args = %v", got.Args)
+	}
+	if got.Arg(99) != nil || got.Arg(-1) != nil {
+		t.Error("out-of-range Arg should be nil")
+	}
+	if got.Time != sim.Time(5*sim.Second) || got.CPUTime != 3*sim.Second {
+		t.Errorf("time=%v cpu=%v", got.Time, got.CPUTime)
+	}
+}
+
+func TestCallStackAndInFunction(t *testing.T) {
+	p := NewProcess("p0", &fakeClock{})
+	p.Enter(fApp)
+	if !p.InFunction("Gsend_message") {
+		t.Error("InFunction should see Gsend_message")
+	}
+	p.Enter(fSend)
+	if len(p.Stack()) != 2 {
+		t.Errorf("stack depth = %d", len(p.Stack()))
+	}
+	if !p.InFunction("Gsend_message") || !p.InFunction("MPI_Send") {
+		t.Error("both functions should be on stack")
+	}
+	p.Leave(fSend)
+	if p.InFunction("MPI_Send") {
+		t.Error("MPI_Send should be popped")
+	}
+	p.Leave(fApp)
+	if len(p.Stack()) != 0 {
+		t.Error("stack should be empty")
+	}
+}
+
+func TestCallEdges(t *testing.T) {
+	p := NewProcess("p0", &fakeClock{})
+	for i := 0; i < 3; i++ { // repeated calls produce one edge
+		p.Enter(fApp)
+		p.Enter(fSend)
+		p.Leave(fSend)
+		p.Leave(fApp)
+	}
+	edges := p.CallEdges()
+	if len(edges) != 1 || edges[0] != [2]string{"Gsend_message", "MPI_Send"} {
+		t.Errorf("edges = %v", edges)
+	}
+}
+
+func TestFirstCallDiscovery(t *testing.T) {
+	p := NewProcess("p0", &fakeClock{})
+	var discovered []string
+	p.OnFirstCall = func(f *Function) { discovered = append(discovered, f.Name) }
+	p.Enter(fApp)
+	p.Enter(fSend)
+	p.Leave(fSend)
+	p.Enter(fSend)
+	p.Leave(fSend)
+	p.Leave(fApp)
+	if len(discovered) != 2 {
+		t.Errorf("discovered = %v, want each function once", discovered)
+	}
+}
+
+func TestProbeOverheadCharged(t *testing.T) {
+	clk := &fakeClock{}
+	p := NewProcess("p0", clk)
+	p.PerProbeCost = 100 * sim.Nanosecond
+	p.Insert("f", Entry, Append, func(*Event) {})
+	p.Insert("f", Entry, Append, func(*Event) {})
+	f := &Function{Name: "f"}
+	p.Enter(f)
+	p.Leave(f)
+	if clk.overhead != 200*sim.Nanosecond {
+		t.Errorf("overhead = %v, want 200ns", clk.overhead)
+	}
+	if p.Executions != 2 {
+		t.Errorf("executions = %d", p.Executions)
+	}
+}
+
+func TestNoProbesNoOverhead(t *testing.T) {
+	clk := &fakeClock{}
+	p := NewProcess("p0", clk)
+	p.PerProbeCost = 100 * sim.Nanosecond
+	f := &Function{Name: "f"}
+	p.Enter(f)
+	p.Leave(f)
+	if clk.overhead != 0 || p.Executions != 0 {
+		t.Error("uninstrumented calls must be free")
+	}
+}
+
+func TestRemoveUnknownIDIsNoop(t *testing.T) {
+	p := NewProcess("p0", &fakeClock{})
+	p.Remove(ID(12345)) // must not panic
+}
+
+func TestInsertDuringRun(t *testing.T) {
+	// Dynamic instrumentation: a probe inserted between calls takes effect
+	// on the next call.
+	p := NewProcess("p0", &fakeClock{})
+	f := &Function{Name: "f"}
+	count := 0
+	p.Enter(f)
+	p.Leave(f)
+	p.Insert("f", Entry, Append, func(*Event) { count++ })
+	p.Enter(f)
+	p.Leave(f)
+	if count != 1 {
+		t.Errorf("count = %d, want 1", count)
+	}
+}
+
+// Property: after any sequence of inserts and removes, ActiveProbes equals
+// inserts minus removes, and firing runs exactly the live probes.
+func TestPropertyInsertRemoveBalance(t *testing.T) {
+	f := func(ops []bool) bool {
+		p := NewProcess("p", &fakeClock{})
+		fn := &Function{Name: "f"}
+		var ids []ID
+		live := 0
+		for _, ins := range ops {
+			if ins || len(ids) == 0 {
+				ids = append(ids, p.Insert("f", Entry, Append, func(*Event) {}))
+				live++
+			} else {
+				p.Remove(ids[0])
+				ids = ids[1:]
+				live--
+			}
+		}
+		if p.ActiveProbes() != live {
+			return false
+		}
+		before := p.Executions
+		p.Enter(fn)
+		return p.Executions-before == int64(live)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,126 @@
+package resource
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Focus selects what part of the program a metric measures: one resource
+// path per top-level hierarchy, as in Paradyn's metric-focus pairs. The
+// whole-program focus selects the root of every hierarchy.
+type Focus struct {
+	// CodePath selects a module or function, e.g. "/Code/app.c/Gsend_message".
+	CodePath string
+	// MachinePath selects a node or process, e.g. "/Machine/node1/p3".
+	MachinePath string
+	// SyncPath selects a synchronization object, e.g.
+	// "/SyncObject/Window/3-1" or "/SyncObject/Message/comm-1/tag-5".
+	SyncPath string
+}
+
+// WholeProgram returns the unrestricted focus.
+func WholeProgram() Focus {
+	return Focus{CodePath: "/Code", MachinePath: "/Machine", SyncPath: "/SyncObject"}
+}
+
+// normalize fills empty components with the hierarchy roots.
+func (f Focus) normalize() Focus {
+	if f.CodePath == "" {
+		f.CodePath = "/Code"
+	}
+	if f.MachinePath == "" {
+		f.MachinePath = "/Machine"
+	}
+	if f.SyncPath == "" {
+		f.SyncPath = "/SyncObject"
+	}
+	return f
+}
+
+// IsWholeProgram reports whether the focus places no restriction.
+func (f Focus) IsWholeProgram() bool {
+	f = f.normalize()
+	return f.CodePath == "/Code" && f.MachinePath == "/Machine" && f.SyncPath == "/SyncObject"
+}
+
+// WithCode/WithMachine/WithSync return a copy of the focus refined along one
+// hierarchy.
+func (f Focus) WithCode(path string) Focus    { f.CodePath = path; return f }
+func (f Focus) WithMachine(path string) Focus { f.MachinePath = path; return f }
+func (f Focus) WithSync(path string) Focus    { f.SyncPath = path; return f }
+
+// String renders the focus in Paradyn's angle-bracket notation.
+func (f Focus) String() string {
+	f = f.normalize()
+	return fmt.Sprintf("<%s,%s,%s>", f.CodePath, f.MachinePath, f.SyncPath)
+}
+
+// Key returns a canonical map key for the focus.
+func (f Focus) Key() string {
+	f = f.normalize()
+	return f.CodePath + "\x00" + f.MachinePath + "\x00" + f.SyncPath
+}
+
+// Label renders a short human label: the non-root components only.
+func (f Focus) Label() string {
+	f = f.normalize()
+	var parts []string
+	for _, p := range []string{f.CodePath, f.MachinePath, f.SyncPath} {
+		if p != "/Code" && p != "/Machine" && p != "/SyncObject" {
+			parts = append(parts, p)
+		}
+	}
+	if len(parts) == 0 {
+		return "Whole Program"
+	}
+	return strings.Join(parts, " ")
+}
+
+// CodeFunction returns the function name selected by the Code path
+// ("/Code/<module>/<function>"), or "" if the focus selects a whole module
+// or all code.
+func (f Focus) CodeFunction() string {
+	comps := splitPath(f.normalize().CodePath)
+	if len(comps) == 3 {
+		return comps[2]
+	}
+	return ""
+}
+
+// CodeModule returns the module selected by the Code path, or "".
+func (f Focus) CodeModule() string {
+	comps := splitPath(f.normalize().CodePath)
+	if len(comps) >= 2 {
+		return comps[1]
+	}
+	return ""
+}
+
+// MachineNode returns the node name selected by the Machine path, or "".
+func (f Focus) MachineNode() string {
+	comps := splitPath(f.normalize().MachinePath)
+	if len(comps) >= 2 {
+		return comps[1]
+	}
+	return ""
+}
+
+// MachineProcess returns the process name selected by the Machine path
+// ("/Machine/<node>/<process>"), or "".
+func (f Focus) MachineProcess() string {
+	comps := splitPath(f.normalize().MachinePath)
+	if len(comps) == 3 {
+		return comps[2]
+	}
+	return ""
+}
+
+// SyncParts returns the components of the SyncObject path after the root:
+// e.g. ["Window", "3-1"] or ["Message", "comm-1", "tag-5"].
+func (f Focus) SyncParts() []string {
+	comps := splitPath(f.normalize().SyncPath)
+	if len(comps) <= 1 {
+		return nil
+	}
+	return comps[1:]
+}

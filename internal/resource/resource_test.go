@@ -1,0 +1,196 @@
+package resource
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewHasStandardStructure(t *testing.T) {
+	h := New()
+	for _, path := range []string{"/Code", "/Machine", "/SyncObject",
+		"/SyncObject/Message", "/SyncObject/Barrier", "/SyncObject/Window"} {
+		if h.FindPath(path) == nil {
+			t.Errorf("standard resource %s missing", path)
+		}
+	}
+}
+
+func TestAddAndFind(t *testing.T) {
+	h := New()
+	n := h.Add(SyncObject, Window, "3-1")
+	if n.Path() != "/SyncObject/Window/3-1" {
+		t.Errorf("path = %q", n.Path())
+	}
+	if h.FindPath("/SyncObject/Window/3-1") != n {
+		t.Error("FindPath did not return the added node")
+	}
+	// Adding again returns the same node.
+	if h.Add(SyncObject, Window, "3-1") != n {
+		t.Error("Add should be idempotent")
+	}
+}
+
+func TestAddPathCreatesIntermediates(t *testing.T) {
+	h := New()
+	h.AddPath("/Code/app.c/bottleneckProcedure")
+	if h.FindPath("/Code/app.c") == nil {
+		t.Error("intermediate module node missing")
+	}
+	if got := h.FindPath("/Code/app.c/bottleneckProcedure").Parent().Name(); got != "app.c" {
+		t.Errorf("parent = %q", got)
+	}
+}
+
+func TestRetireAndActiveChildren(t *testing.T) {
+	h := New()
+	a := h.Add(SyncObject, Window, "0-1")
+	h.Add(SyncObject, Window, "0-2")
+	a.Retire()
+	if !a.Retired() {
+		t.Error("a should be retired")
+	}
+	win := h.Find(SyncObject, Window)
+	if len(win.Children()) != 2 {
+		t.Errorf("children = %d, want 2 (retired stays in tree)", len(win.Children()))
+	}
+	active := win.ActiveChildren()
+	if len(active) != 1 || active[0].Name() != "0-2" {
+		t.Errorf("active = %v", active)
+	}
+}
+
+func TestDisplayNames(t *testing.T) {
+	h := New()
+	n := h.Add(SyncObject, Window, "1-4")
+	if n.DisplayName() != "1-4" {
+		t.Errorf("default display = %q", n.DisplayName())
+	}
+	n.SetDisplayName("ParentChildWin")
+	if n.DisplayName() != "ParentChildWin" {
+		t.Errorf("display = %q", n.DisplayName())
+	}
+	r := h.Render()
+	if !strings.Contains(r, "ParentChildWin [1-4]") {
+		t.Errorf("render should show friendly name with id:\n%s", r)
+	}
+}
+
+func TestRenderMarksRetired(t *testing.T) {
+	h := New()
+	n := h.Add(SyncObject, Window, "2-9")
+	n.Retire()
+	if !strings.Contains(h.Render(), "2-9 (retired)") {
+		t.Errorf("render missing retired annotation:\n%s", h.Render())
+	}
+}
+
+func TestCount(t *testing.T) {
+	h := New()
+	base := h.Count(true) // 6 standard nodes
+	h.Add(Code, "app.c", "main")
+	if h.Count(true) != base+2 {
+		t.Errorf("count = %d, want %d", h.Count(true), base+2)
+	}
+	h.FindPath("/Code/app.c/main").Retire()
+	if h.Count(false) != base+1 {
+		t.Errorf("active count = %d, want %d", h.Count(false), base+1)
+	}
+}
+
+func TestWalkOrder(t *testing.T) {
+	h := New()
+	h.Add(Machine, "node0", "p0")
+	h.Add(Machine, "node0", "p1")
+	var seen []string
+	h.Find(Machine).Walk(func(n *Node) { seen = append(seen, n.Name()) })
+	want := "Machine,node0,p0,p1"
+	if got := strings.Join(seen, ","); got != want {
+		t.Errorf("walk = %q, want %q", got, want)
+	}
+}
+
+func TestFocusWholeProgram(t *testing.T) {
+	f := WholeProgram()
+	if !f.IsWholeProgram() {
+		t.Error("WholeProgram should be whole")
+	}
+	if f.Label() != "Whole Program" {
+		t.Errorf("label = %q", f.Label())
+	}
+	var zero Focus
+	if !zero.IsWholeProgram() {
+		t.Error("zero focus should normalize to whole program")
+	}
+}
+
+func TestFocusRefinement(t *testing.T) {
+	f := WholeProgram().
+		WithCode("/Code/app.c/Gsend_message").
+		WithSync("/SyncObject/Message/comm-1/tag-5")
+	if f.IsWholeProgram() {
+		t.Error("refined focus should not be whole")
+	}
+	if f.CodeFunction() != "Gsend_message" || f.CodeModule() != "app.c" {
+		t.Errorf("code parts: %q %q", f.CodeFunction(), f.CodeModule())
+	}
+	sp := f.SyncParts()
+	if len(sp) != 3 || sp[0] != "Message" || sp[2] != "tag-5" {
+		t.Errorf("sync parts = %v", sp)
+	}
+	if f.String() != "</Code/app.c/Gsend_message,/Machine,/SyncObject/Message/comm-1/tag-5>" {
+		t.Errorf("string = %q", f.String())
+	}
+}
+
+func TestFocusMachineParts(t *testing.T) {
+	f := WholeProgram().WithMachine("/Machine/node2/p5")
+	if f.MachineNode() != "node2" || f.MachineProcess() != "p5" {
+		t.Errorf("machine parts: %q %q", f.MachineNode(), f.MachineProcess())
+	}
+	g := WholeProgram().WithMachine("/Machine/node2")
+	if g.MachineProcess() != "" {
+		t.Error("node-level focus has no process")
+	}
+}
+
+func TestFocusKeyDistinguishes(t *testing.T) {
+	a := WholeProgram().WithCode("/Code/x")
+	b := WholeProgram().WithSync("/SyncObject/Barrier")
+	if a.Key() == b.Key() {
+		t.Error("different foci must have different keys")
+	}
+	if a.Key() != WholeProgram().WithCode("/Code/x").Key() {
+		t.Error("equal foci must share a key")
+	}
+}
+
+// Property: Path/AddPath round-trip for arbitrary component names.
+func TestPropertyPathRoundTrip(t *testing.T) {
+	f := func(raw []string) bool {
+		comps := make([]string, 0, len(raw))
+		for _, c := range raw {
+			c = strings.Map(func(r rune) rune {
+				if r == '/' || r == 0 {
+					return -1
+				}
+				return r
+			}, c)
+			if c != "" {
+				comps = append(comps, c)
+			}
+			if len(comps) == 4 {
+				break
+			}
+		}
+		if len(comps) == 0 {
+			return true
+		}
+		h := New()
+		n := h.Add(comps...)
+		return h.FindPath(n.Path()) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Engine is a sequential discrete-event simulator. All simulated processes
+// and event callbacks execute one at a time under the engine's control, so
+// no locking is required anywhere in simulation code.
+//
+// The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	now     Time
+	evq     eventHeap
+	seq     uint64
+	procs   []*Proc
+	live    int // procs not yet done
+	cur     *Proc
+	running bool
+	stopped bool
+	err     error
+	rng     *RNG
+
+	// onProcDone, if set, is invoked (in scheduler context) when a process
+	// finishes. Used by higher layers for teardown notification.
+	onProcDone func(*Proc)
+}
+
+// NewEngine returns a new simulation engine with the given RNG seed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{rng: NewRNG(seed)}
+}
+
+// Now returns the current virtual time. During a process's execution this is
+// the process's local clock; during an event callback it is the event time.
+func (e *Engine) Now() Time {
+	if e.cur != nil {
+		return e.cur.now
+	}
+	return e.now
+}
+
+// RNG returns the engine's deterministic random-number generator.
+func (e *Engine) RNG() *RNG { return e.rng }
+
+// Procs returns all processes ever started, in start order.
+func (e *Engine) Procs() []*Proc { return e.procs }
+
+// At schedules fn to run at virtual time t. If t is before the current time,
+// it runs at the current time (events cannot fire in the past). Events run in
+// scheduler context: they must not block, but may wake processes, schedule
+// further events, and start new processes.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	e.evq.push(&event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Duration, fn func()) { e.At(e.Now().Add(d), fn) }
+
+// Stop halts the simulation: Run returns after the currently executing
+// process or event yields control.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes the simulation until no live processes remain, Stop is called,
+// or a process panics. Pending pure events (e.g. periodic samplers) do not
+// keep the simulation alive once all processes have finished. Run returns the
+// first error encountered: a process panic or a deadlock (processes waiting
+// with no event that can ever wake them).
+func (e *Engine) Run() error {
+	if e.running {
+		return fmt.Errorf("sim: Run called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+
+	for !e.stopped && e.err == nil && e.live > 0 {
+		p := e.nextReadyProc()
+		ev := e.evq.peek()
+
+		switch {
+		case p == nil && ev == nil:
+			return e.deadlock()
+		case p == nil || (ev != nil && ev.at <= p.readyAt):
+			e.evq.pop()
+			e.now = ev.at
+			ev.fn()
+		default:
+			e.now = p.readyAt
+			p.now = p.readyAt
+			e.dispatch(p)
+		}
+	}
+	return e.err
+}
+
+// RunFor runs the simulation until the given virtual time has elapsed (or
+// the simulation ends earlier). It works by scheduling a Stop event.
+func (e *Engine) RunFor(d Duration) error {
+	e.At(e.now.Add(d), e.Stop)
+	return e.Run()
+}
+
+// nextReadyProc returns the ready process with the earliest readyAt time,
+// tie-broken by wake sequence, or nil if none are ready.
+func (e *Engine) nextReadyProc() *Proc {
+	var best *Proc
+	for _, p := range e.procs {
+		if p.state != stateReady {
+			continue
+		}
+		if best == nil || p.readyAt < best.readyAt ||
+			(p.readyAt == best.readyAt && p.readySeq < best.readySeq) {
+			best = p
+		}
+	}
+	return best
+}
+
+// dispatch hands control to p and blocks until p yields back.
+func (e *Engine) dispatch(p *Proc) {
+	p.state = stateRunning
+	e.cur = p
+	p.resume <- struct{}{}
+	<-p.yield
+	e.cur = nil
+	if p.state == stateDone {
+		e.live--
+		if p.panicErr != nil && e.err == nil {
+			e.err = p.panicErr
+		}
+		if e.onProcDone != nil {
+			e.onProcDone(p)
+		}
+	}
+}
+
+// deadlock constructs the error reported when processes are waiting but no
+// event can ever wake them.
+func (e *Engine) deadlock() error {
+	var waiting []string
+	for _, p := range e.procs {
+		if p.state == stateWaiting {
+			waiting = append(waiting, fmt.Sprintf("%s (since %v, in %s)", p.name, p.waitSince, p.waitWhat))
+		}
+	}
+	sort.Strings(waiting)
+	e.err = fmt.Errorf("sim: deadlock at %v: %d process(es) waiting with no pending events: %s",
+		e.now, len(waiting), strings.Join(waiting, "; "))
+	return e.err
+}

@@ -1,0 +1,46 @@
+package sim
+
+import "container/heap"
+
+// event is a scheduled callback in virtual time.
+type event struct {
+	at  Time
+	seq uint64 // tie-break: earlier-scheduled events fire first
+	fn  func()
+}
+
+// eventHeap is a min-heap of events ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+func (h *eventHeap) push(ev *event) { heap.Push(h, ev) }
+
+func (h *eventHeap) pop() *event { return heap.Pop(h).(*event) }
+
+func (h eventHeap) peek() *event {
+	if len(h) == 0 {
+		return nil
+	}
+	return h[0]
+}

@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+type procState int
+
+const (
+	stateReady procState = iota // eligible to run at readyAt
+	stateRunning
+	stateWaiting // blocked until another party calls wake
+	stateDone
+)
+
+// Proc is a simulated process: a goroutine whose execution is interleaved
+// with other processes in virtual-time order. All Proc methods except WakeAt
+// must be called from within the process's own body function.
+type Proc struct {
+	eng  *Engine
+	id   int
+	name string
+
+	now      Time
+	readyAt  Time
+	readySeq uint64
+	state    procState
+
+	resume chan struct{}
+	yield  chan struct{}
+
+	waitSince Time
+	waitWhat  string // description of what the proc is waiting for
+	panicErr  error
+
+	// Val is an arbitrary slot for higher layers to attach per-process
+	// context (e.g. the MPI rank state) without a map lookup.
+	Val any
+}
+
+// StartProc creates a new simulated process named name whose body is fn; it
+// becomes runnable at the current virtual time. May be called before Run or
+// during the simulation (e.g. to model dynamically spawned MPI processes).
+func (e *Engine) StartProc(name string, fn func(p *Proc)) *Proc {
+	return e.StartProcAt(name, e.Now(), fn)
+}
+
+// StartProcAt is StartProc with an explicit start time (>= current time).
+func (e *Engine) StartProcAt(name string, at Time, fn func(p *Proc)) *Proc {
+	if at < e.Now() {
+		at = e.Now()
+	}
+	e.seq++
+	p := &Proc{
+		eng:      e,
+		id:       len(e.procs),
+		name:     name,
+		now:      at,
+		readyAt:  at,
+		readySeq: e.seq,
+		state:    stateReady,
+		resume:   make(chan struct{}),
+		yield:    make(chan struct{}),
+	}
+	e.procs = append(e.procs, p)
+	e.live++
+	go p.run(fn)
+	return p
+}
+
+// run is the goroutine body wrapping the user function with scheduling
+// handshakes and panic capture.
+func (p *Proc) run(fn func(*Proc)) {
+	<-p.resume
+	defer func() {
+		if r := recover(); r != nil {
+			p.panicErr = fmt.Errorf("sim: process %q panicked at %v: %v\n%s",
+				p.name, p.now, r, debug.Stack())
+		}
+		p.state = stateDone
+		p.yield <- struct{}{}
+	}()
+	fn(p)
+}
+
+// ID returns the process's engine-unique id (start order).
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the process name given at StartProc.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the process's local virtual clock.
+func (p *Proc) Now() Time { return p.now }
+
+// Sleep advances the process's clock by d, yielding to the scheduler so that
+// events and other processes with earlier timestamps run first. d <= 0
+// yields without advancing time.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.eng.seq++
+	p.readyAt = p.now.Add(d)
+	p.readySeq = p.eng.seq
+	p.state = stateReady
+	p.switchOut()
+}
+
+// Yield gives other ready processes and events at the current time a chance
+// to run, without advancing this process's clock.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Wait blocks the process until another party calls WakeAt. what is a short
+// description used in deadlock reports. Wait returns the (possibly advanced)
+// local time at wake-up.
+func (p *Proc) Wait(what string) Time {
+	p.state = stateWaiting
+	p.waitSince = p.now
+	p.waitWhat = what
+	p.switchOut()
+	return p.now
+}
+
+// WakeAt makes a waiting process runnable at time t (or at its current local
+// clock if that is later). It must be called from scheduler context (an
+// event callback) or from another running process. Waking a process that is
+// not waiting is a no-op and returns false.
+func (p *Proc) WakeAt(t Time) bool {
+	if p.state != stateWaiting {
+		return false
+	}
+	if t < p.now {
+		t = p.now
+	}
+	p.eng.seq++
+	p.now = t
+	p.readyAt = t
+	p.readySeq = p.eng.seq
+	p.state = stateReady
+	return true
+}
+
+// switchOut transfers control back to the scheduler and blocks until the
+// scheduler dispatches this process again.
+func (p *Proc) switchOut() {
+	p.yield <- struct{}{}
+	<-p.resume
+	p.state = stateRunning
+}
+
+// Done reports whether the process has finished.
+func (p *Proc) Done() bool { return p.state == stateDone }
+
+// Status describes the process's scheduling state for diagnostics: "done",
+// "ready", "running", or "waiting: <reason>".
+func (p *Proc) Status() string {
+	switch p.state {
+	case stateDone:
+		return "done"
+	case stateRunning:
+		return "running"
+	case stateWaiting:
+		return "waiting: " + p.waitWhat
+	default:
+		return "ready"
+	}
+}

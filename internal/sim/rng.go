@@ -1,0 +1,44 @@
+package sim
+
+// RNG is a small deterministic pseudo-random generator (xorshift64*), used
+// instead of math/rand so simulations are reproducible across Go versions
+// and require no global state.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed (zero is remapped to a fixed
+// nonzero constant, since xorshift requires a nonzero state).
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Fork returns a new generator deterministically derived from this one,
+// useful for giving each process an independent stream.
+func (r *RNG) Fork() *RNG { return NewRNG(r.Uint64()) }

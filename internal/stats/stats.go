@@ -1,0 +1,119 @@
+// Package stats provides the small statistical toolkit §5.2.1.3 uses to
+// compare the tool's RMA measurements against the Presta benchmark's own
+// numbers: means, standard deviations, and confidence intervals on the mean
+// of paired differences ("we determined whether differences in the
+// measurements were statistically significant by inspecting the confidence
+// interval of the mean of the differences of the two sets of measurements").
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mean returns the arithmetic mean (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator).
+func StdDev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// tCrit95 holds two-sided 95% Student-t critical values for df 1..30;
+// larger dfs use the normal approximation.
+var tCrit95 = []float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// TCritical95 returns the two-sided 95% t critical value for the given
+// degrees of freedom.
+func TCritical95(df int) float64 {
+	if df <= 0 {
+		return math.Inf(1)
+	}
+	if df <= len(tCrit95) {
+		return tCrit95[df-1]
+	}
+	return 1.96
+}
+
+// Interval is a confidence interval.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether v lies inside the interval.
+func (iv Interval) Contains(v float64) bool { return iv.Lo <= v && v <= iv.Hi }
+
+// String formats the interval.
+func (iv Interval) String() string { return fmt.Sprintf("[%.6g, %.6g]", iv.Lo, iv.Hi) }
+
+// MeanCI95 returns the 95% confidence interval of the mean.
+func MeanCI95(xs []float64) Interval {
+	n := len(xs)
+	m := Mean(xs)
+	if n < 2 {
+		return Interval{m, m}
+	}
+	half := TCritical95(n-1) * StdDev(xs) / math.Sqrt(float64(n))
+	return Interval{m - half, m + half}
+}
+
+// PairedResult is the outcome of a paired-difference comparison.
+type PairedResult struct {
+	MeanDiff float64
+	CI       Interval
+	// Significant is true when the CI of the mean difference excludes
+	// zero — the §5.2.1.3 criterion.
+	Significant bool
+	// RelDiff is the mean difference relative to the mean of the first
+	// sample (the paper reports ~0.6% relative differences).
+	RelDiff float64
+	N       int
+}
+
+// PairedDiff compares paired measurements a[i] vs b[i].
+func PairedDiff(a, b []float64) (*PairedResult, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("stats: paired samples differ in length: %d vs %d", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return nil, fmt.Errorf("stats: empty samples")
+	}
+	diffs := make([]float64, len(a))
+	for i := range a {
+		diffs[i] = a[i] - b[i]
+	}
+	ci := MeanCI95(diffs)
+	res := &PairedResult{
+		MeanDiff:    Mean(diffs),
+		CI:          ci,
+		Significant: !ci.Contains(0),
+		N:           len(a),
+	}
+	if m := Mean(a); m != 0 {
+		res.RelDiff = res.MeanDiff / m
+	}
+	return res, nil
+}
