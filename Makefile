@@ -1,0 +1,25 @@
+# Build and verification entry points. `make verify` is the full CI gate:
+# tier-1 (build + tests), static analysis, and race-enabled tests of the
+# packages with real concurrency (the TCP transport and the daemon/fault
+# machinery it carries).
+
+GO ?= go
+
+.PHONY: build test vet race verify bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/frontend ./internal/daemon ./internal/faults
+
+verify: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchmem

@@ -18,6 +18,7 @@ import (
 	"pperf/internal/cluster"
 	"pperf/internal/daemon"
 	"pperf/internal/experiments"
+	"pperf/internal/faults"
 	"pperf/internal/mdl"
 	"pperf/internal/metric"
 	"pperf/internal/mpi"
@@ -241,6 +242,46 @@ func BenchmarkAblationPCThreshold(b *testing.B) {
 		if !runAt(0.2) {
 			b.Fatal("0.2 threshold should find the bottleneck")
 		}
+	}
+}
+
+// --- fault-injection overhead ------------------------------------------------
+
+// benchFaultRun executes one suite program under the tool with the given
+// fault plan (nil = fault hooks fully cold) and returns the virtual runtime.
+func benchFaultRun(b *testing.B, plan *faults.Plan) sim.Time {
+	b.Helper()
+	res, err := pperfmark.Run("random-barrier", pperfmark.RunOptions{
+		Impl: mpi.LAM, DisablePC: true, Faults: plan,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.RunTime
+}
+
+// BenchmarkFaultsDisabled is the baseline cost of carrying the fault
+// subsystem without a plan: the nil network overlay, the daemon's
+// direct-send fast path, and heartbeats off. Its ns/op should be
+// indistinguishable from a build without fault support.
+func BenchmarkFaultsDisabled(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchFaultRun(b, nil)
+	}
+}
+
+// BenchmarkFaultsArmedIdle arms an empty plan — heartbeats, liveness monitor
+// and network overlay live, but no fault ever fires — and checks that the
+// machinery does not perturb the simulated application at all: the virtual
+// runtime must equal the hooks-cold run's exactly.
+func BenchmarkFaultsArmedIdle(b *testing.B) {
+	var cold, idle sim.Time
+	for i := 0; i < b.N; i++ {
+		cold = benchFaultRun(b, nil)
+		idle = benchFaultRun(b, faults.New())
+	}
+	if cold != idle {
+		b.Fatalf("armed-but-idle fault machinery perturbed the run: %v vs %v", idle, cold)
 	}
 }
 

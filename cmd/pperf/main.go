@@ -19,6 +19,7 @@ import (
 	"pperf/internal/consultant"
 	"pperf/internal/core"
 	"pperf/internal/daemon"
+	"pperf/internal/faults"
 	"pperf/internal/mpi"
 	"pperf/internal/pcl"
 	"pperf/internal/pperfmark"
@@ -26,17 +27,18 @@ import (
 
 func main() {
 	var (
-		prog     = flag.String("prog", "", "PPerfMark program to run (see -list)")
-		implName = flag.String("impl", "lam", "MPI implementation personality: lam | mpich | mpich2 | reference")
-		list     = flag.Bool("list", false, "list available programs and exit")
-		iters    = flag.Int("iterations", 0, "override the program's iteration count")
-		procs    = flag.Int("np", 0, "override the process count")
-		waste    = flag.Int("ttw", 0, "override TIMETOWASTE")
-		hier     = flag.Bool("hierarchy", false, "print the final resource hierarchy")
-		tcp      = flag.Bool("judge", true, "judge the findings against the paper's expectations")
-		spawnVia = flag.String("spawn", "intercept", "spawn support method: intercept | attach")
-		seed     = flag.Uint64("seed", 0, "simulation seed")
-		pclFile  = flag.String("pcl", "", "run from a Paradyn Configuration Language file instead")
+		prog      = flag.String("prog", "", "PPerfMark program to run (see -list)")
+		implName  = flag.String("impl", "lam", "MPI implementation personality: lam | mpich | mpich2 | reference")
+		list      = flag.Bool("list", false, "list available programs and exit")
+		iters     = flag.Int("iterations", 0, "override the program's iteration count")
+		procs     = flag.Int("np", 0, "override the process count")
+		waste     = flag.Int("ttw", 0, "override TIMETOWASTE")
+		hier      = flag.Bool("hierarchy", false, "print the final resource hierarchy")
+		tcp       = flag.Bool("judge", true, "judge the findings against the paper's expectations")
+		spawnVia  = flag.String("spawn", "intercept", "spawn support method: intercept | attach")
+		seed      = flag.Uint64("seed", 0, "simulation seed")
+		pclFile   = flag.String("pcl", "", "run from a Paradyn Configuration Language file instead")
+		faultSpec = flag.String("faults", "", "fault-injection plan, e.g. 't=2s kill-node node1' (see FAULTS.md)")
 	)
 	flag.Parse()
 
@@ -72,6 +74,14 @@ func main() {
 	if *spawnVia == "attach" {
 		method = daemon.SpawnAttach
 	}
+	var plan *faults.Plan
+	if *faultSpec != "" {
+		plan, err = faults.Parse(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pperf:", err)
+			os.Exit(2)
+		}
+	}
 
 	res, err := pperfmark.Run(*prog, pperfmark.RunOptions{
 		Impl:  impl,
@@ -82,6 +92,7 @@ func main() {
 			Procs:       *procs,
 			TimeToWaste: *waste,
 		},
+		Faults: plan,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pperf:", err)
@@ -94,6 +105,13 @@ func main() {
 
 	fmt.Printf("%s under %s — virtual runtime %v, %d probe executions\n\n",
 		*prog, impl, res.RunTime, res.Session.ProbeExecutions())
+	if len(res.FaultLog) > 0 {
+		fmt.Println("Injected faults:")
+		for _, ev := range res.FaultLog {
+			fmt.Println("  *", ev)
+		}
+		fmt.Printf("Data coverage: %.2f\n\n", res.Coverage)
+	}
 	fmt.Println("Performance Consultant (condensed):")
 	fmt.Print(res.PC.Render())
 

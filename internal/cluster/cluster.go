@@ -99,13 +99,19 @@ type CostModel struct {
 	RMAOverhead sim.Duration
 }
 
+// LinkParams returns the base latency and bandwidth applying between the
+// given nodes (intra- vs inter-node).
+func (c *CostModel) LinkParams(fromNode, toNode int) (sim.Duration, float64) {
+	if fromNode == toNode {
+		return c.IntraNodeLatency, c.IntraNodeBandwidth
+	}
+	return c.InterNodeLatency, c.InterNodeBandwidth
+}
+
 // MsgTime returns the network transit duration for a message of size bytes
 // between the given nodes.
 func (c *CostModel) MsgTime(fromNode, toNode, bytes int) sim.Duration {
-	lat, bw := c.InterNodeLatency, c.InterNodeBandwidth
-	if fromNode == toNode {
-		lat, bw = c.IntraNodeLatency, c.IntraNodeBandwidth
-	}
+	lat, bw := c.LinkParams(fromNode, toNode)
 	return lat + sim.Duration(float64(bytes)/bw*float64(sim.Second))
 }
 

@@ -130,6 +130,10 @@ type Node struct {
 	// Pruned marks nodes whose instrumentation was removed after repeated
 	// false tests.
 	Pruned bool
+	// Partial marks a node that was evaluated while data coverage was
+	// incomplete (processes lost to node or daemon failures): its verdict
+	// rests on the surviving processes only.
+	Partial bool
 
 	Parent   *Node
 	Children []*Node
@@ -262,6 +266,9 @@ func (n *Node) update(now sim.Time) {
 	}
 	n.lastTime = now
 	n.evals++
+	if n.c.fe.LostProcessCount() > 0 {
+		n.Partial = true
+	}
 	if len(fractions) == 0 {
 		n.falseRun++
 		return

@@ -13,6 +13,9 @@ type Finding struct {
 	Label      string
 	Value      float64
 	Depth      int
+	// Partial marks a finding evaluated on incomplete data (some processes
+	// were lost to injected or real failures while it was tested).
+	Partial bool
 }
 
 // Findings returns every node that tested true, shallowest first.
@@ -27,6 +30,7 @@ func (c *Consultant) Findings() []Finding {
 				Label:      n.Label,
 				Value:      n.Value,
 				Depth:      n.depth,
+				Partial:    n.Partial,
 			})
 		}
 		for _, ch := range n.Children {
@@ -80,6 +84,7 @@ func (c *Consultant) AnyTrue() bool {
 // findings, as the paper's figures show: the top-level hypotheses with their
 // truth values, and beneath each true one the tree of true refinements.
 func (c *Consultant) Render() string {
+	degraded := c.fe.LostProcessCount() > 0
 	var b strings.Builder
 	b.WriteString("TopLevelHypothesis\n")
 	for i, r := range c.roots {
@@ -88,13 +93,27 @@ func (c *Consultant) Render() string {
 		if last {
 			connector, indent = "└─ ", "   "
 		}
-		fmt.Fprintf(&b, "%s%s: %s (%.2f)\n", connector, r.Hypothesis, boolWord(r.True), r.Value)
+		mark := ""
+		if degraded && r.Partial {
+			mark = " [partial data]"
+		}
+		fmt.Fprintf(&b, "%s%s: %s (%.2f)%s\n", connector, r.Hypothesis, boolWord(r.True), r.Value, mark)
 		if r.True {
 			renderTrueChildren(&b, r, indent)
 		}
 	}
+	// In a healthy run this block never renders, so default reports are
+	// unchanged; in a degraded run the verdicts carry their caveat.
+	if degraded {
+		fmt.Fprintf(&b, "WARNING: %s\n", c.fe.DegradationSummary())
+		b.WriteString("WARNING: hypotheses marked [partial data] were evaluated on surviving processes only\n")
+	}
 	return b.String()
 }
+
+// Coverage reports the front end's data-coverage fraction at render time
+// (1.0 = every known process reporting).
+func (c *Consultant) Coverage() float64 { return c.fe.Coverage() }
 
 func boolWord(v bool) string {
 	if v {

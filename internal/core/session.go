@@ -11,6 +11,7 @@ import (
 
 	"pperf/internal/cluster"
 	"pperf/internal/daemon"
+	"pperf/internal/faults"
 	"pperf/internal/frontend"
 	"pperf/internal/mdl"
 	"pperf/internal/mpi"
@@ -45,6 +46,11 @@ type Options struct {
 	// instrumentation (on by default), which populates
 	// /SyncObject/Message/<comm>/<tag> resources.
 	DiscoverTags *bool
+	// Faults arms a fault-injection plan: heartbeats and the liveness
+	// monitor switch on, the network overlay is installed, and the plan's
+	// faults are scheduled. Nil (the default) leaves every fault hook cold —
+	// runs are byte-identical to a build without the fault subsystem.
+	Faults *faults.Plan
 }
 
 // Session is a live tool instance around one simulated cluster.
@@ -56,8 +62,13 @@ type Session struct {
 	Daemons []*daemon.Daemon
 	Lib     *mdl.Library
 
+	// Injector is non-nil when a fault plan is armed; its Log records what
+	// fired.
+	Injector *faults.Injector
+
 	listener   *frontend.Listener
 	transports []*frontend.TCPTransport
+	flaky      map[string]*faults.FlakyTransport // node name → wrapper (fault runs only)
 	launched   bool
 }
 
@@ -77,6 +88,10 @@ func NewSession(opts Options) (*Session, error) {
 		dcfg = *opts.Daemon
 	}
 	dcfg.MPIImplName = opts.Impl.String()
+	plan := opts.Faults
+	if plan != nil && plan.Heartbeat > 0 {
+		dcfg.Heartbeat = plan.Heartbeat
+	}
 
 	lib, err := mdl.NewLibraryWithStd(opts.UserMDL)
 	if err != nil {
@@ -86,6 +101,9 @@ func NewSession(opts Options) (*Session, error) {
 	eng := sim.NewEngine(opts.Seed)
 	spec := cluster.DefaultSpec(opts.Nodes, opts.CPUsPerNode)
 	world := mpi.NewWorld(eng, spec, mpi.NewImpl(opts.Impl))
+	if plan != nil {
+		world.Net = cluster.NewNetwork() // nil otherwise: zero-cost fast path
+	}
 
 	fe := frontend.New()
 	fe.NumBins = opts.NumBins
@@ -102,17 +120,30 @@ func NewSession(opts Options) (*Session, error) {
 	}
 
 	for node := range spec.Nodes {
+		nodeName := spec.Nodes[node].Name
 		var tr daemon.Transport = fe
 		if opts.UseTCP {
-			t, err := frontend.DialTransport(s.listener.Addr())
+			rcfg := frontend.DefaultRetryConfig()
+			if plan != nil {
+				rcfg.Seed = plan.Seed + uint64(node) // per-daemon jitter streams
+			}
+			t, err := frontend.DialTransportRetry(s.listener.Addr(), daemon.NameFor(nodeName), rcfg)
 			if err != nil {
 				s.Close()
 				return nil, err
 			}
 			s.transports = append(s.transports, t)
 			tr = t
+		} else if plan != nil {
+			// In-process transport: interpose the injector's failure wrapper.
+			ft := &faults.FlakyTransport{Inner: tr}
+			if s.flaky == nil {
+				s.flaky = map[string]*faults.FlakyTransport{}
+			}
+			s.flaky[nodeName] = ft
+			tr = ft
 		}
-		d := daemon.New(eng, node, spec.Nodes[node].Name, lib, tr, dcfg)
+		d := daemon.New(eng, node, nodeName, lib, tr, dcfg)
 		s.Daemons = append(s.Daemons, d)
 		fe.AddDaemon(d)
 	}
@@ -120,7 +151,71 @@ func NewSession(opts Options) (*Session, error) {
 	if opts.DiscoverTags == nil || *opts.DiscoverTags {
 		installTagDiscovery(s)
 	}
+	if plan != nil {
+		s.armFaults(plan)
+	}
 	return s, nil
+}
+
+// armFaults switches on the resilience machinery and schedules the plan.
+func (s *Session) armFaults(plan *faults.Plan) {
+	nodeIdx := map[string]int{}
+	byName := map[string]*daemon.Daemon{}
+	for i := range s.Spec.Nodes {
+		nodeIdx[s.Spec.Nodes[i].Name] = i
+		byName[s.Spec.Nodes[i].Name] = s.Daemons[i]
+	}
+	if plan.Heartbeat > 0 {
+		s.FE.StartLiveness(s.Eng, plan.Heartbeat, plan.Detect)
+	}
+	s.Injector = faults.Arm(plan, s.Eng, faults.Hooks{
+		KillNode: func(node, reason string) {
+			s.World.KillNode(node, reason)
+			if d := byName[node]; d != nil {
+				d.Crash() // the node's daemon dies with it
+			}
+		},
+		Abort: func(reason string) { s.World.AbortAll(reason) },
+		CrashDaemon: func(node string) {
+			if d := byName[node]; d != nil {
+				d.Crash()
+			}
+		},
+		HangDaemon: func(node string, dur sim.Duration) {
+			if d := byName[node]; d != nil {
+				d.Hang(dur)
+			}
+		},
+		SetLink: func(a, b string, lat, bw float64, downFor sim.Duration) {
+			st := cluster.LinkState{LatFactor: lat, BWFactor: bw}
+			if downFor > 0 {
+				st.DownUntil = s.Eng.Now().Add(downFor)
+			}
+			if a == "*" {
+				s.World.Net.SetAll(st)
+				return
+			}
+			ai, aok := nodeIdx[a]
+			bi, bok := nodeIdx[b]
+			if aok && bok {
+				s.World.Net.SetLink(ai, bi, st)
+			}
+		},
+		DelayAttach: func(node string, dur sim.Duration) {
+			if d := byName[node]; d != nil {
+				d.DelayAttachUntil(s.Eng.Now().Add(dur))
+			}
+		},
+		DropTransport: func(node string, n int) {
+			if i, ok := nodeIdx[node]; ok && i < len(s.transports) {
+				s.transports[i].InjectFailures(n)
+				return
+			}
+			if ft := s.flaky[node]; ft != nil {
+				ft.InjectFailures(n)
+			}
+		},
+	})
 }
 
 // Register adds a program to the world's registry.

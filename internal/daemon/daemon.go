@@ -28,6 +28,13 @@ type Daemon struct {
 	enabled []enableReq
 
 	stopped bool
+
+	// Resilience state (see outbox.go).
+	crashed     bool
+	hungUntil   sim.Time
+	attachUntil sim.Time
+	outbox      []outMsg
+	dropped     int64
 }
 
 type enableReq struct {
@@ -63,10 +70,14 @@ func (rc *rankCtx) WallNow() sim.Time       { return rc.d.eng.Now() }
 func (rc *rankCtx) CPUNow() sim.Duration    { return rc.r.CPUTimeAt(rc.d.eng.Now()) }
 func (rc *rankCtx) SystemNow() sim.Duration { return rc.r.SystemTimeAt(rc.d.eng.Now()) }
 
+// NameFor returns the daemon identity for a node — the name stamped on
+// reports and used by transports and the liveness monitor.
+func NameFor(nodeName string) string { return "paradynd@" + nodeName }
+
 // New creates the daemon for one node.
 func New(eng *sim.Engine, node int, nodeName string, lib *mdl.Library, tr Transport, cfg Config) *Daemon {
 	return &Daemon{
-		name: fmt.Sprintf("paradynd@%s", nodeName),
+		name: NameFor(nodeName),
 		node: node,
 		eng:  eng,
 		lib:  lib,
@@ -126,6 +137,11 @@ func AttachAll(w *mpi.World, daemons []*Daemon) {
 				d.nameSet(obj, name)
 			}
 		},
+		ProcessLost: func(r *mpi.Rank, reason string) {
+			if d := byNode[r.Node()]; d != nil && !d.crashed {
+				d.processLost(r.Probes().Name(), r.NodeName(), reason)
+			}
+		},
 	}
 	w.AddHooks(hooks)
 }
@@ -135,12 +151,28 @@ func AttachAll(w *mpi.World, daemons []*Daemon) {
 // With the attach spawn method, adoption of spawned processes is delayed by
 // the attach latency.
 func (d *Daemon) adopt(r *mpi.Rank) {
+	at := d.eng.Now()
 	if d.cfg.Spawn == SpawnAttach && r.ParentComm() != nil {
-		at := d.eng.Now().Add(d.cfg.AttachLatency)
+		at = at.Add(d.cfg.AttachLatency)
+	}
+	// An injected attach delay (slow daemon startup) postpones adoption
+	// further; data before the attach point is simply never collected.
+	if d.attachUntil > at {
+		at = d.attachUntil
+	}
+	if at > d.eng.Now() {
 		d.eng.At(at, func() { d.adoptNow(r) })
 		return
 	}
 	d.adoptNow(r)
+}
+
+// DelayAttachUntil postpones adoption of processes that start before t —
+// fault injection for a daemon that comes up late.
+func (d *Daemon) DelayAttachUntil(t sim.Time) {
+	if t > d.attachUntil {
+		d.attachUntil = t
+	}
 }
 
 func (d *Daemon) adoptNow(r *mpi.Rank) {
@@ -149,7 +181,7 @@ func (d *Daemon) adoptNow(r *mpi.Rank) {
 	r.Probes().PerProbeCost = d.cfg.PerProbeCost
 	r.Probes().OnFirstCall = func(f *probe.Function) { rc.functionDiscovered(f) }
 
-	d.tr.Update(Update{
+	d.sendUpdate(Update{
 		Kind: UpAddResource, Time: d.eng.Now(),
 		Path: machinePath(r.NodeName(), r.Probes().Name()),
 	})
@@ -173,7 +205,7 @@ func (rc *rankCtx) functionDiscovered(f *probe.Function) {
 		}
 	}
 	rc.modules[f.Module] = append(fns, f.Name)
-	rc.d.tr.Update(Update{
+	rc.d.sendUpdate(Update{
 		Kind: UpAddResource, Time: rc.d.eng.Now(),
 		Path: "/Code/" + f.Module + "/" + f.Name,
 	})
@@ -196,7 +228,7 @@ func (d *Daemon) processExited(r *mpi.Rank) {
 			rc.exited = true
 		}
 	}
-	d.tr.Update(Update{
+	d.sendUpdate(Update{
 		Kind: UpProcessExit, Time: d.eng.Now(),
 		Proc: r.Probes().Name(),
 		Path: machinePath(r.NodeName(), r.Probes().Name()),
@@ -219,7 +251,7 @@ func (d *Daemon) sampleRank(rc *rankCtx) {
 		})
 	}
 	if len(batch) > 0 {
-		d.tr.Samples(batch)
+		d.sendSamples(batch)
 	}
 	rc.flushEdges(now)
 }
@@ -228,7 +260,7 @@ func (rc *rankCtx) flushEdges(now sim.Time) {
 	for _, e := range rc.r.Probes().CallEdges() {
 		if !rc.sentEdges[e] {
 			rc.sentEdges[e] = true
-			rc.d.tr.Update(Update{
+			rc.d.sendUpdate(Update{
 				Kind: UpCallEdge, Time: now,
 				Proc: rc.r.Probes().Name(), Caller: e[0], Callee: e[1],
 			})
@@ -237,7 +269,7 @@ func (rc *rankCtx) flushEdges(now sim.Time) {
 }
 
 func (d *Daemon) commCreated(c *mpi.Comm) {
-	d.tr.Update(Update{
+	d.sendUpdate(Update{
 		Kind: UpAddResource, Time: d.eng.Now(),
 		Path:    "/SyncObject/Message/" + fmt.Sprintf("comm-%d", c.ID()),
 		Display: c.Name(),
@@ -252,7 +284,7 @@ func (d *Daemon) winCreated(r *mpi.Rank, win *mpi.Win) {
 	if win.Comm().RankOf(r) != 0 {
 		return
 	}
-	d.tr.Update(Update{
+	d.sendUpdate(Update{
 		Kind: UpAddResource, Time: d.eng.Now(),
 		Path: "/SyncObject/Window/" + win.UniqueID(),
 	})
@@ -263,7 +295,7 @@ func (d *Daemon) winCreated(r *mpi.Rank, win *mpi.Win) {
 }
 
 func (d *Daemon) winFreed(win *mpi.Win) {
-	d.tr.Update(Update{
+	d.sendUpdate(Update{
 		Kind: UpRetire, Time: d.eng.Now(),
 		Path: "/SyncObject/Window/" + win.UniqueID(),
 	})
@@ -272,17 +304,17 @@ func (d *Daemon) winFreed(win *mpi.Win) {
 func (d *Daemon) nameSet(obj any, name string) {
 	switch o := obj.(type) {
 	case *mpi.Comm:
-		d.tr.Update(Update{
+		d.sendUpdate(Update{
 			Kind: UpSetName, Time: d.eng.Now(),
 			Path: "/SyncObject/Message/" + fmt.Sprintf("comm-%d", o.ID()), Display: name,
 		})
 	case *mpi.Win:
-		d.tr.Update(Update{
+		d.sendUpdate(Update{
 			Kind: UpSetName, Time: d.eng.Now(),
 			Path: "/SyncObject/Window/" + o.UniqueID(), Display: name,
 		})
 		if ic := o.InternalComm(); ic != nil {
-			d.tr.Update(Update{
+			d.sendUpdate(Update{
 				Kind: UpSetName, Time: d.eng.Now(),
 				Path: "/SyncObject/Message/" + fmt.Sprintf("comm-%d", ic.ID()), Display: name,
 			})
@@ -358,10 +390,12 @@ func (d *Daemon) instrumentRank(rc *rankCtx, req enableReq) bool {
 	return true
 }
 
-// Start schedules the daemon's periodic sampling. Sampling stops when Stop
-// is called or the simulation ends.
+// Start schedules the daemon's periodic sampling (and, when configured, its
+// heartbeat beacon). Sampling stops when Stop is called or the simulation
+// ends.
 func (d *Daemon) Start() {
 	d.scheduleTick()
+	d.scheduleHeartbeat()
 }
 
 // Stop halts sampling.
@@ -377,8 +411,14 @@ func (d *Daemon) scheduleTick() {
 	})
 }
 
-// tick samples every live instance and flushes call-graph discoveries.
+// tick samples every live instance and flushes call-graph discoveries. A
+// hang-injected daemon skips the tick entirely (the data gap is the fault);
+// a recovered one first replays its outbox so report order is preserved.
 func (d *Daemon) tick() {
+	if d.Hung() {
+		return
+	}
+	d.flushOutbox()
 	for _, rc := range d.ranks {
 		if !rc.exited {
 			d.sampleRank(rc)

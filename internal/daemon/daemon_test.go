@@ -16,8 +16,15 @@ type recorder struct {
 	updates []Update
 }
 
-func (r *recorder) Samples(batch []Sample) { r.samples = append(r.samples, batch...) }
-func (r *recorder) Update(u Update)        { r.updates = append(r.updates, u) }
+func (r *recorder) Samples(batch []Sample) error {
+	r.samples = append(r.samples, batch...)
+	return nil
+}
+
+func (r *recorder) Update(u Update) error {
+	r.updates = append(r.updates, u)
+	return nil
+}
 
 // rig builds a 2-node world with one daemon per node wired to a recorder.
 func rig(t *testing.T, impl mpi.ImplKind, cfg Config) (*sim.Engine, *mpi.World, []*Daemon, *recorder) {

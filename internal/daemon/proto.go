@@ -36,6 +36,13 @@ const (
 	UpCallEdge
 	// UpProcessExit reports that the process named Proc finished.
 	UpProcessExit
+	// UpProcessLost reports that the process named Proc was forcibly
+	// terminated (node crash, job abort) without exiting cleanly.
+	UpProcessLost
+	// UpHeartbeat is a periodic liveness beacon carrying no resource change;
+	// the front end uses it (and any other report stamped with Daemon) to
+	// detect crashed or hung daemons.
+	UpHeartbeat
 )
 
 // Update is a resource-update report from daemon to front end.
@@ -46,14 +53,20 @@ type Update struct {
 	Proc           string
 	Caller, Callee string
 	Time           sim.Time
+	// Daemon identifies the sending daemon (liveness tracking). The in-
+	// process transport and old captures leave it empty.
+	Daemon string
 }
 
 // Transport carries daemon reports to the front end. The in-process
 // implementation calls the front end directly; the TCP implementation gob-
-// encodes over a socket.
+// encodes over a socket. A non-nil error means the report was NOT observed
+// by the front end (after any retries the transport performs internally);
+// the daemon buffers such reports in its outbox and replays them when the
+// transport recovers.
 type Transport interface {
-	Samples(batch []Sample)
-	Update(u Update)
+	Samples(batch []Sample) error
+	Update(u Update) error
 }
 
 // SpawnMethod selects how the tool supports MPI_Comm_spawn (§4.2.2).
@@ -88,7 +101,19 @@ type Config struct {
 	// MPIImplName is the daemon-definition attribute naming the MPI
 	// implementation (LAM or MPICH), required on non-shared filesystems.
 	MPIImplName string
+	// Heartbeat, when nonzero, makes the daemon emit a liveness beacon on
+	// that virtual-time cadence. Zero (the default) disables heartbeats so
+	// fault-free runs schedule no extra events and stay byte-identical with
+	// historical behaviour; the fault subsystem turns it on.
+	Heartbeat sim.Duration
+	// OutboxLimit bounds the number of reports buffered while the front-end
+	// transport is down; beyond it the oldest reports are dropped (counted
+	// in Dropped). Zero means DefaultOutboxLimit.
+	OutboxLimit int
 }
+
+// DefaultOutboxLimit is the outbox bound used when Config.OutboxLimit is 0.
+const DefaultOutboxLimit = 4096
 
 // DefaultConfig returns the standard daemon configuration.
 func DefaultConfig() Config {

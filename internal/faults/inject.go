@@ -1,0 +1,187 @@
+package faults
+
+import (
+	"fmt"
+	"sync"
+
+	"pperf/internal/daemon"
+	"pperf/internal/sim"
+)
+
+// Hooks are the actions the injector drives. The session layer wires them to
+// the world, daemons, network overlay and transports — the faults package
+// itself knows only the schedule, keeping it free of upward dependencies.
+type Hooks struct {
+	// KillNode terminates the node's processes and daemon (reason is for
+	// reports).
+	KillNode func(node, reason string)
+	// Abort terminates the whole job — fired Detect after a node kill, as
+	// the failure detector of the launcher would.
+	Abort func(reason string)
+	// CrashDaemon permanently stops the node's daemon.
+	CrashDaemon func(node string)
+	// HangDaemon stalls the node's daemon for the duration.
+	HangDaemon func(node string, d sim.Duration)
+	// SetLink applies latency/bandwidth factors and an outage window to the
+	// a–b link (a == "*" targets all links). Zero factors leave that
+	// dimension unchanged; downFor > 0 severs the link for that long.
+	SetLink func(a, b string, lat, bw float64, downFor sim.Duration)
+	// DelayAttach postpones the node's daemon adopting processes.
+	DelayAttach func(node string, d sim.Duration)
+	// DropTransport makes the node's daemon transport fail its next n sends.
+	DropTransport func(node string, n int)
+}
+
+// Injector is an armed plan: it has scheduled every fault on the engine and
+// records what actually fired.
+type Injector struct {
+	plan *Plan
+
+	mu  sync.Mutex
+	log []string
+}
+
+// Plan returns the armed plan.
+func (in *Injector) Plan() *Plan { return in.plan }
+
+// Log returns the injected events in firing order, each stamped with the
+// virtual time it fired — the audit trail for reports and tests.
+func (in *Injector) Log() []string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]string(nil), in.log...)
+}
+
+func (in *Injector) note(now sim.Time, format string, args ...any) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.log = append(in.log, fmt.Sprintf("%v %s", now, fmt.Sprintf(format, args...)))
+}
+
+// Arm schedules every fault in the plan on the engine. Hook fields left nil
+// are skipped (the fault is logged as unsupported rather than panicking).
+// Faults fire in virtual time, so runs are exactly reproducible.
+func Arm(plan *Plan, eng *sim.Engine, h Hooks) *Injector {
+	in := &Injector{plan: plan}
+	for _, f := range plan.Faults {
+		f := f
+		eng.At(sim.Time(f.At), func() { in.fire(eng.Now(), f, plan, eng, h) })
+	}
+	return in
+}
+
+func (in *Injector) fire(now sim.Time, f Fault, plan *Plan, eng *sim.Engine, h Hooks) {
+	switch f.Kind {
+	case KillNode:
+		if h.KillNode == nil {
+			in.note(now, "kill-node %s: no hook, skipped", f.Node)
+			return
+		}
+		reason := fmt.Sprintf("node %s failed", f.Node)
+		h.KillNode(f.Node, reason)
+		in.note(now, "kill-node %s", f.Node)
+		if h.Abort != nil {
+			// The failure detector notices Detect later and aborts the job:
+			// MPI_Finalize is collective, so survivors can never complete.
+			eng.After(plan.Detect, func() {
+				h.Abort(fmt.Sprintf("job aborted: %s", reason))
+				in.note(eng.Now(), "abort-job (detector: %s)", reason)
+			})
+		}
+	case CrashDaemon:
+		if h.CrashDaemon == nil {
+			in.note(now, "crash-daemon %s: no hook, skipped", f.Node)
+			return
+		}
+		h.CrashDaemon(f.Node)
+		in.note(now, "crash-daemon %s", f.Node)
+	case HangDaemon:
+		if h.HangDaemon == nil {
+			in.note(now, "hang-daemon %s: no hook, skipped", f.Node)
+			return
+		}
+		h.HangDaemon(f.Node, f.For)
+		in.note(now, "hang-daemon %s for %v", f.Node, f.For)
+	case SeverLink:
+		if h.SetLink == nil {
+			in.note(now, "sever-link: no hook, skipped")
+			return
+		}
+		h.SetLink(f.Node, f.Peer, 0, 0, f.For)
+		in.note(now, "sever-link %s:%s for %v", f.Node, f.Peer, f.For)
+	case DegradeLink:
+		if h.SetLink == nil {
+			in.note(now, "degrade-link: no hook, skipped")
+			return
+		}
+		h.SetLink(f.Node, f.Peer, f.Lat, f.BW, 0)
+		in.note(now, "degrade-link %s:%s lat=%g bw=%g", f.Node, f.Peer, f.Lat, f.BW)
+	case DelayAttach:
+		if h.DelayAttach == nil {
+			in.note(now, "delay-attach %s: no hook, skipped", f.Node)
+			return
+		}
+		h.DelayAttach(f.Node, f.For)
+		in.note(now, "delay-attach %s for %v", f.Node, f.For)
+	case DropTransport:
+		if h.DropTransport == nil {
+			in.note(now, "drop-transport %s: no hook, skipped", f.Node)
+			return
+		}
+		h.DropTransport(f.Node, f.N)
+		in.note(now, "drop-transport %s n=%d", f.Node, f.N)
+	}
+}
+
+// FlakyTransport wraps a daemon.Transport so the injector can fail sends on
+// the in-process path (the TCP transport has its own InjectFailures). While
+// failures remain, every send errors — the daemon's outbox absorbs the
+// reports and replays them once the flakiness is spent.
+type FlakyTransport struct {
+	Inner daemon.Transport
+
+	mu      sync.Mutex
+	pending int
+	dropped int64
+}
+
+// InjectFailures makes the next n sends fail.
+func (ft *FlakyTransport) InjectFailures(n int) {
+	ft.mu.Lock()
+	ft.pending += n
+	ft.mu.Unlock()
+}
+
+// Dropped returns how many sends were failed so far.
+func (ft *FlakyTransport) Dropped() int64 {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	return ft.dropped
+}
+
+func (ft *FlakyTransport) fail() bool {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	if ft.pending <= 0 {
+		return false
+	}
+	ft.pending--
+	ft.dropped++
+	return true
+}
+
+// Samples implements daemon.Transport.
+func (ft *FlakyTransport) Samples(batch []daemon.Sample) error {
+	if ft.fail() {
+		return fmt.Errorf("faults: injected transport failure")
+	}
+	return ft.Inner.Samples(batch)
+}
+
+// Update implements daemon.Transport.
+func (ft *FlakyTransport) Update(u daemon.Update) error {
+	if ft.fail() {
+		return fmt.Errorf("faults: injected transport failure")
+	}
+	return ft.Inner.Update(u)
+}

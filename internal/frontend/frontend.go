@@ -24,6 +24,13 @@ type ProcInfo struct {
 	Started sim.Time
 	Exited  bool
 	EndTime sim.Time
+	// Lost marks a process that stopped reporting without a clean exit: its
+	// daemon reported it forcibly terminated, or the daemon itself went
+	// silent (crash/hang detected by the liveness monitor). Lost processes'
+	// data is stale from LostTime on and they leave the Performance
+	// Consultant's candidate set.
+	Lost     bool
+	LostTime sim.Time
 }
 
 // FrontEnd is the tool's central state. It implements daemon.Transport for
@@ -37,6 +44,10 @@ type FrontEnd struct {
 	edges   map[string]map[string]bool
 	callees map[string]bool
 	procs   map[string]*ProcInfo
+
+	// liveness is per-daemon last-contact state (nil until a fault plan
+	// arms the liveness monitor or a daemon-stamped report arrives).
+	liveness map[string]*DaemonHealth
 
 	// NumBins/BinWidth configure new histograms (defaults are Paradyn's).
 	NumBins  int
@@ -148,8 +159,9 @@ func (fe *FrontEnd) Series(metricName string, focus resource.Focus) *Series {
 
 // --- daemon.Transport implementation --------------------------------------
 
-// Samples ingests a batch of sampled deltas.
-func (fe *FrontEnd) Samples(batch []daemon.Sample) {
+// Samples ingests a batch of sampled deltas. It implements
+// daemon.Transport; the in-process path never fails.
+func (fe *FrontEnd) Samples(batch []daemon.Sample) error {
 	fe.mu.Lock()
 	defer fe.mu.Unlock()
 	for _, sm := range batch {
@@ -168,12 +180,17 @@ func (fe *FrontEnd) Samples(batch []daemon.Sample) {
 		}
 		ph.Add(sm.Time, sm.Delta)
 	}
+	return nil
 }
 
-// Update ingests a resource-update report.
-func (fe *FrontEnd) Update(u daemon.Update) {
+// Update ingests a resource-update report. It implements daemon.Transport;
+// the in-process path never fails.
+func (fe *FrontEnd) Update(u daemon.Update) error {
 	fe.mu.Lock()
 	defer fe.mu.Unlock()
+	if u.Daemon != "" {
+		fe.noteDaemonLocked(u.Daemon, u.Time)
+	}
 	switch u.Kind {
 	case daemon.UpAddResource:
 		n := fe.hier.AddPath(u.Path)
@@ -210,7 +227,12 @@ func (fe *FrontEnd) Update(u daemon.Update) {
 		if n := fe.hier.FindPath(u.Path); n != nil {
 			n.Retire() // exited processes gray out and leave the PC's candidate set
 		}
+	case daemon.UpProcessLost:
+		fe.markProcLostLocked(u.Proc, u.Path, u.Time)
+	case daemon.UpHeartbeat:
+		// Liveness was recorded above; nothing else to do.
 	}
+	return nil
 }
 
 // --- queries ----------------------------------------------------------------

@@ -1,0 +1,190 @@
+package frontend
+
+// Daemon liveness and degraded-coverage accounting. When a fault plan is
+// active, daemons stamp every report with their identity and emit periodic
+// heartbeats; the front end's liveness monitor (scheduled on the simulation
+// engine, so detection is deterministic virtual time) marks daemons that go
+// silent as stale and their processes as lost. Queries over this state give
+// the Performance Consultant its coverage fraction, so diagnoses computed
+// from partial data say so instead of hanging or lying.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pperf/internal/sim"
+)
+
+// DaemonHealth is the front end's liveness view of one daemon.
+type DaemonHealth struct {
+	Name     string
+	Node     string // node the daemon serves ("" if not derivable)
+	LastSeen sim.Time
+	// Stale marks a daemon that has missed enough heartbeats to be presumed
+	// crashed or hung. A later report from it clears the mark (recovery).
+	Stale bool
+}
+
+// daemonNode derives the node name from the daemon identity convention
+// ("paradynd@<node>").
+func daemonNode(name string) string {
+	if i := strings.IndexByte(name, '@'); i >= 0 {
+		return name[i+1:]
+	}
+	return ""
+}
+
+// noteDaemonLocked records contact with a daemon; a stale daemon that
+// reports again recovers, and its un-exited processes stop being lost.
+// Caller holds fe.mu.
+func (fe *FrontEnd) noteDaemonLocked(name string, t sim.Time) {
+	if fe.liveness == nil {
+		fe.liveness = map[string]*DaemonHealth{}
+	}
+	dh, ok := fe.liveness[name]
+	if !ok {
+		dh = &DaemonHealth{Name: name, Node: daemonNode(name)}
+		fe.liveness[name] = dh
+	}
+	if t > dh.LastSeen {
+		dh.LastSeen = t
+	}
+	if dh.Stale {
+		dh.Stale = false
+		// Recovery: data flows again for this daemon's processes.
+		for _, p := range fe.procs {
+			if p.Node == dh.Node && p.Lost && !p.Exited {
+				p.Lost = false
+				p.LostTime = 0
+				if n := fe.hier.FindPath("/Machine/" + p.Node + "/" + p.Name); n != nil {
+					n.Unretire()
+				}
+			}
+		}
+	}
+}
+
+// markProcLostLocked marks one process lost and retires its hierarchy node.
+// Caller holds fe.mu.
+func (fe *FrontEnd) markProcLostLocked(proc, path string, t sim.Time) {
+	if p, ok := fe.procs[proc]; ok && !p.Exited && !p.Lost {
+		p.Lost = true
+		p.LostTime = t
+	}
+	if path != "" {
+		if n := fe.hier.FindPath(path); n != nil {
+			n.Retire()
+		}
+	}
+}
+
+// StartLiveness arms the periodic liveness monitor: every interval of
+// virtual time it checks each known daemon's last contact, and one that has
+// been silent longer than timeout is marked stale with all its un-exited
+// processes lost. Daemons registered with AddDaemon are pre-seeded so a
+// daemon that dies before its first report is still detected.
+func (fe *FrontEnd) StartLiveness(eng interface {
+	After(d sim.Duration, fn func())
+	Now() sim.Time
+}, interval, timeout sim.Duration) {
+	fe.mu.Lock()
+	now := eng.Now()
+	for _, d := range fe.daemons {
+		fe.noteDaemonLocked(d.Name(), now)
+	}
+	fe.mu.Unlock()
+	var tick func()
+	tick = func() {
+		fe.checkLiveness(eng.Now(), timeout)
+		eng.After(interval, tick)
+	}
+	eng.After(interval, tick)
+}
+
+// checkLiveness marks daemons silent for longer than timeout as stale and
+// their processes as lost.
+func (fe *FrontEnd) checkLiveness(now sim.Time, timeout sim.Duration) {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	for _, dh := range fe.liveness {
+		if dh.Stale || now.Sub(dh.LastSeen) <= timeout {
+			continue
+		}
+		dh.Stale = true
+		for _, p := range fe.procs {
+			if p.Node == dh.Node && !p.Exited && !p.Lost {
+				p.Lost = true
+				p.LostTime = now
+				if n := fe.hier.FindPath("/Machine/" + p.Node + "/" + p.Name); n != nil {
+					n.Retire()
+				}
+			}
+		}
+	}
+}
+
+// DaemonHealths returns the liveness view sorted by daemon name (empty when
+// liveness tracking never engaged).
+func (fe *FrontEnd) DaemonHealths() []DaemonHealth {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	out := make([]DaemonHealth, 0, len(fe.liveness))
+	for _, dh := range fe.liveness {
+		out = append(out, *dh)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// LostProcessCount returns how many processes are currently marked lost.
+func (fe *FrontEnd) LostProcessCount() int {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	n := 0
+	for _, p := range fe.procs {
+		if p.Lost {
+			n++
+		}
+	}
+	return n
+}
+
+// Coverage returns the fraction of known processes whose data is trustworthy
+// (not lost): 1.0 for a healthy run, < 1.0 when node crashes or daemon
+// failures left ranks unobserved. With no processes known it reports 1.0.
+func (fe *FrontEnd) Coverage() float64 {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	if len(fe.procs) == 0 {
+		return 1.0
+	}
+	lost := 0
+	for _, p := range fe.procs {
+		if p.Lost {
+			lost++
+		}
+	}
+	return 1.0 - float64(lost)/float64(len(fe.procs))
+}
+
+// DegradationSummary describes data-coverage damage for reports: which
+// processes are lost and the resulting coverage fraction. Empty string when
+// coverage is full.
+func (fe *FrontEnd) DegradationSummary() string {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	var lost []string
+	for _, p := range fe.procs {
+		if p.Lost {
+			lost = append(lost, fmt.Sprintf("%s@%s (stale since %v)", p.Name, p.Node, p.LostTime))
+		}
+	}
+	if len(lost) == 0 {
+		return ""
+	}
+	sort.Strings(lost)
+	cov := 1.0 - float64(len(lost))/float64(len(fe.procs))
+	return fmt.Sprintf("coverage %.2f: %d of %d processes lost — %s",
+		cov, len(lost), len(fe.procs), strings.Join(lost, ", "))
+}

@@ -1,0 +1,66 @@
+package frontend_test
+
+// Integration: a full tool session over the real TCP transport, with and
+// without injected transport failures. The retry/reconnect/dedupe machinery
+// must make the faulted run's collected data identical to the clean run's.
+
+import (
+	"testing"
+
+	"pperf/internal/core"
+	"pperf/internal/faults"
+	"pperf/internal/mpi"
+	"pperf/internal/resource"
+	"pperf/internal/sim"
+)
+
+func pingProgram(r *mpi.Rank, _ []string) {
+	c := r.World()
+	for i := 0; i < 40; i++ {
+		if r.Rank() == 0 {
+			r.Compute(sim.Millisecond)
+			c.Send(r, nil, 1024, mpi.Byte, 1, 0)
+		} else {
+			c.Recv(r, nil, 1024, mpi.Byte, 0, 0)
+		}
+	}
+}
+
+func runOverTCP(t *testing.T, plan *faults.Plan) float64 {
+	t.Helper()
+	s, err := core.NewSession(core.Options{
+		Impl:        mpi.LAM,
+		Nodes:       2,
+		CPUsPerNode: 1,
+		UseTCP:      true,
+		Faults:      plan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Register("ping", pingProgram)
+	sr := s.MustEnable("msg_bytes_sent", resource.WholeProgram())
+	if err := s.Launch("ping", 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return sr.Total()
+}
+
+func TestTCPSessionSurvivesTransportDrops(t *testing.T) {
+	clean := runOverTCP(t, nil)
+	if clean == 0 {
+		t.Fatal("clean run collected no data")
+	}
+	plan, err := faults.Parse("t=5ms drop-transport node0 n=3; t=10ms drop-transport node1 n=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulted := runOverTCP(t, plan)
+	if faulted != clean {
+		t.Errorf("faulted run total = %v, clean = %v — transport drops lost data", faulted, clean)
+	}
+}

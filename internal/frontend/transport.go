@@ -2,11 +2,14 @@ package frontend
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"pperf/internal/daemon"
+	"pperf/internal/sim"
 )
 
 // The TCP transport carries daemon reports to the front end over a real
@@ -15,11 +18,65 @@ import (
 // acknowledged before the daemon proceeds, so delivery order (and therefore
 // front-end state) stays deterministic even though the listener runs on its
 // own goroutine.
+//
+// The transport is built for misbehaving clusters: every message carries the
+// sending daemon's identity and a per-daemon sequence number, each send has
+// a wall-clock deadline, failures trigger bounded exponential backoff with
+// seeded (deterministic) jitter and a reconnect, and the front end dedupes
+// replayed messages by sequence number — so an ack lost to a half-closed
+// socket cannot double-apply a sample batch, and a reconnect resyncs
+// without disturbing determinism.
 
 // wireMsg is the single message frame exchanged on the wire.
 type wireMsg struct {
+	// Daemon and Seq identify and order the frame for reconnect dedupe.
+	// Seq is per-daemon and strictly increasing; Seq 0 (legacy senders)
+	// bypasses dedupe.
+	Daemon string
+	Seq    uint64
+
 	Samples []daemon.Sample
 	Update  *daemon.Update
+}
+
+// RetryConfig tunes the daemon-side transport's robustness behaviour.
+type RetryConfig struct {
+	// MsgTimeout is the wall-clock deadline for one attempt (encode + ack).
+	MsgTimeout time.Duration
+	// MaxAttempts bounds tries per message (first send included). When all
+	// fail, Samples/Update return an error and the daemon's outbox takes
+	// over.
+	MaxAttempts int
+	// BaseBackoff/MaxBackoff bound the exponential backoff between
+	// attempts.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Seed drives the jitter RNG; equal seeds give identical backoff
+	// schedules (deterministic retries).
+	Seed uint64
+}
+
+// DefaultRetryConfig returns production-shaped retry behaviour.
+func DefaultRetryConfig() RetryConfig {
+	return RetryConfig{
+		MsgTimeout:  2 * time.Second,
+		MaxAttempts: 5,
+		BaseBackoff: 5 * time.Millisecond,
+		MaxBackoff:  250 * time.Millisecond,
+		Seed:        1,
+	}
+}
+
+// TransportStats counts the resilience machinery's activity.
+type TransportStats struct {
+	Sent       int64 // messages acknowledged
+	Duplicates int64 // (listener side only; unused on the daemon side)
+	Retries    int64 // attempts beyond the first
+	Reconnects int64 // successful redials
+	Failures   int64 // messages given up on after MaxAttempts
+	// Backoffs records every backoff delay chosen, in order — the observable
+	// surface for determinism tests.
+	Backoffs []time.Duration
 }
 
 // Listener accepts daemon connections for a front end.
@@ -27,6 +84,12 @@ type Listener struct {
 	fe *FrontEnd
 	ln net.Listener
 	wg sync.WaitGroup
+
+	mu      sync.Mutex
+	closed  bool
+	lastSeq map[string]uint64 // per-daemon high-water mark for dedupe
+	dups    int64
+	acceptE int64 // transient accept errors retried
 }
 
 // Listen starts a TCP listener feeding the front end. Use addr "127.0.0.1:0"
@@ -36,7 +99,7 @@ func (fe *FrontEnd) Listen(addr string) (*Listener, error) {
 	if err != nil {
 		return nil, fmt.Errorf("frontend: listen: %w", err)
 	}
-	l := &Listener{fe: fe, ln: ln}
+	l := &Listener{fe: fe, ln: ln, lastSeq: map[string]uint64{}}
 	l.wg.Add(1)
 	go l.acceptLoop()
 	return l, nil
@@ -47,24 +110,80 @@ func (l *Listener) Addr() string { return l.ln.Addr().String() }
 
 // Close stops accepting and waits for connection handlers to finish.
 func (l *Listener) Close() error {
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
 	err := l.ln.Close()
 	l.wg.Wait()
 	return err
 }
 
+// Duplicates returns how many replayed frames the dedupe layer skipped.
+func (l *Listener) Duplicates() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dups
+}
+
+// TransientAcceptErrors returns how many Accept errors were retried.
+func (l *Listener) TransientAcceptErrors() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.acceptE
+}
+
+// acceptLoop accepts daemon connections until the listener closes. A
+// transient Accept error (resource exhaustion, aborted handshake) is retried
+// with a short delay instead of silently killing the loop; only a closed
+// listener — or persistent failure — ends it.
 func (l *Listener) acceptLoop() {
 	defer l.wg.Done()
+	consecutive := 0
 	for {
 		conn, err := l.ln.Accept()
 		if err != nil {
-			return
+			if errors.Is(err, net.ErrClosed) || l.isClosed() {
+				return
+			}
+			consecutive++
+			if consecutive > 10 {
+				return // persistently failing listener; give up
+			}
+			l.mu.Lock()
+			l.acceptE++
+			l.mu.Unlock()
+			time.Sleep(time.Duration(consecutive) * time.Millisecond)
+			continue
 		}
+		consecutive = 0
 		l.wg.Add(1)
 		go func() {
 			defer l.wg.Done()
 			l.handle(conn)
 		}()
 	}
+}
+
+func (l *Listener) isClosed() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.closed
+}
+
+// seen reports (and records) whether the frame is a replay the front end
+// already applied — the reconnect-resync dedupe.
+func (l *Listener) seen(daemonName string, seq uint64) bool {
+	if daemonName == "" || seq == 0 {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq <= l.lastSeq[daemonName] {
+		l.dups++
+		return true
+	}
+	l.lastSeq[daemonName] = seq
+	return false
 }
 
 func (l *Listener) handle(conn net.Conn) {
@@ -76,11 +195,15 @@ func (l *Listener) handle(conn net.Conn) {
 		if err := dec.Decode(&msg); err != nil {
 			return
 		}
-		if msg.Samples != nil {
-			l.fe.Samples(msg.Samples)
-		}
-		if msg.Update != nil {
-			l.fe.Update(*msg.Update)
+		// A frame the daemon re-sent after a lost ack was already applied:
+		// skip the apply, but still acknowledge it.
+		if !l.seen(msg.Daemon, msg.Seq) {
+			if msg.Samples != nil {
+				l.fe.Samples(msg.Samples)
+			}
+			if msg.Update != nil {
+				l.fe.Update(*msg.Update)
+			}
 		}
 		if err := enc.Encode(true); err != nil { // ack
 			return
@@ -88,39 +211,205 @@ func (l *Listener) handle(conn net.Conn) {
 	}
 }
 
-// TCPTransport is the daemon-side transport: it gob-encodes each report and
-// waits for the front end's acknowledgement.
+// ErrTransportClosed is returned by sends on a Close()d transport.
+var ErrTransportClosed = errors.New("frontend: transport closed")
+
+// TCPTransport is the daemon-side transport: it gob-encodes each report,
+// waits (with a deadline) for the front end's acknowledgement, and on
+// failure retries with seeded-jitter exponential backoff, redialling as
+// needed. When every attempt fails the error surfaces to the daemon, whose
+// outbox buffers the report for later replay.
 type TCPTransport struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
+	mu     sync.Mutex
+	addr   string
+	name   string // daemon identity stamped on frames ("" = legacy, no dedupe)
+	cfg    RetryConfig
+	conn   net.Conn
+	enc    *gob.Encoder
+	dec    *gob.Decoder
+	seq    uint64
+	rng    *sim.RNG
+	closed bool
+	stats  TransportStats
+
+	// FaultHook, when set, is consulted before each attempt; a non-nil
+	// return simulates a transport fault for that attempt (the connection is
+	// treated as failed). Used by the fault injector and tests to exercise
+	// the retry path deterministically.
+	FaultHook func(attempt int, msg *wireMsg) error
 }
 
-// DialTransport connects a daemon-side transport to a front-end listener.
+// DialTransport connects a daemon-side transport to a front-end listener
+// with default retry behaviour and no identity (legacy callers).
 func DialTransport(addr string) (*TCPTransport, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
+	return DialTransportRetry(addr, "", DefaultRetryConfig())
+}
+
+// DialTransportRetry connects a daemon-side transport with explicit identity
+// and retry configuration. name is the daemon identity used for reconnect
+// dedupe; empty disables dedupe (every frame applies).
+func DialTransportRetry(addr, name string, cfg RetryConfig) (*TCPTransport, error) {
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 1
+	}
+	t := &TCPTransport{addr: addr, name: name, cfg: cfg, rng: sim.NewRNG(cfg.Seed)}
+	if err := t.redialLocked(); err != nil {
 		return nil, fmt.Errorf("frontend: dial: %w", err)
 	}
-	return &TCPTransport{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+	return t, nil
 }
 
-// Close shuts the connection.
-func (t *TCPTransport) Close() error { return t.conn.Close() }
-
-func (t *TCPTransport) send(msg wireMsg) {
+// Close shuts the connection; subsequent sends fail fast.
+func (t *TCPTransport) Close() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.closed = true
+	if t.conn == nil {
+		return nil
+	}
+	err := t.conn.Close()
+	t.conn = nil
+	return err
+}
+
+// Stats returns a snapshot of the transport's resilience counters.
+func (t *TCPTransport) Stats() TransportStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.stats
+	s.Backoffs = append([]time.Duration(nil), t.stats.Backoffs...)
+	return s
+}
+
+// InjectFailures makes the next n attempts fail (deterministic fault
+// injection): each failed attempt consumes one count, exercising timeout,
+// backoff and reconnect exactly as a flaky network would.
+func (t *TCPTransport) InjectFailures(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	remaining := n
+	t.FaultHook = func(int, *wireMsg) error {
+		if remaining <= 0 {
+			return nil
+		}
+		remaining--
+		return fmt.Errorf("injected transport fault (%d more)", remaining)
+	}
+}
+
+// redialLocked (re)establishes the connection and fresh gob codecs. A gob
+// stream is stateful, so any failed connection must be fully replaced.
+func (t *TCPTransport) redialLocked() error {
+	if t.conn != nil {
+		t.conn.Close()
+		t.conn = nil
+	}
+	timeout := t.cfg.MsgTimeout
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", t.addr, timeout)
+	if err != nil {
+		return err
+	}
+	t.conn = conn
+	t.enc = gob.NewEncoder(conn)
+	t.dec = gob.NewDecoder(conn)
+	return nil
+}
+
+// backoffLocked computes the delay before retry attempt (1-based): bounded
+// exponential growth with seeded jitter in [d/2, d). The schedule is a pure
+// function of the seed and the failure sequence, so retries under simulated
+// faults are reproducible.
+func (t *TCPTransport) backoffLocked(attempt int) time.Duration {
+	d := t.cfg.BaseBackoff
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if t.cfg.MaxBackoff > 0 && d >= t.cfg.MaxBackoff {
+			d = t.cfg.MaxBackoff
+			break
+		}
+	}
+	half := d / 2
+	jittered := half + time.Duration(t.rng.Uint64()%uint64(half+1))
+	t.stats.Backoffs = append(t.stats.Backoffs, jittered)
+	return jittered
+}
+
+// attemptLocked performs one deadline-bounded encode+ack round trip.
+func (t *TCPTransport) attemptLocked(msg *wireMsg) error {
+	if t.conn == nil {
+		return errors.New("no connection")
+	}
+	if t.cfg.MsgTimeout > 0 {
+		t.conn.SetDeadline(time.Now().Add(t.cfg.MsgTimeout))
+		defer t.conn.SetDeadline(time.Time{})
+	}
 	if err := t.enc.Encode(msg); err != nil {
-		return
+		return fmt.Errorf("encode: %w", err)
 	}
 	var ack bool
-	_ = t.dec.Decode(&ack)
+	if err := t.dec.Decode(&ack); err != nil {
+		// A half-closed or dead socket surfaces here as an error (or a
+		// deadline timeout) instead of a silent hang.
+		return fmt.Errorf("awaiting ack: %w", err)
+	}
+	return nil
+}
+
+func (t *TCPTransport) send(msg wireMsg) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrTransportClosed
+	}
+	msg.Daemon = t.name
+	t.seq++
+	msg.Seq = t.seq
+
+	var lastErr error
+	for attempt := 1; attempt <= t.cfg.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			t.stats.Retries++
+			time.Sleep(t.backoffLocked(attempt - 1))
+			if err := t.redialLocked(); err != nil {
+				lastErr = err
+				continue
+			}
+			t.stats.Reconnects++
+		}
+		if t.FaultHook != nil {
+			if err := t.FaultHook(attempt, &msg); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		if err := t.attemptLocked(&msg); err != nil {
+			lastErr = err
+			// The gob stream is now poisoned; force a redial next attempt.
+			if t.conn != nil {
+				t.conn.Close()
+				t.conn = nil
+			}
+			continue
+		}
+		t.stats.Sent++
+		return nil
+	}
+	t.stats.Failures++
+	return fmt.Errorf("frontend: send failed after %d attempts: %w", t.cfg.MaxAttempts, lastErr)
 }
 
 // Samples implements daemon.Transport.
-func (t *TCPTransport) Samples(batch []daemon.Sample) { t.send(wireMsg{Samples: batch}) }
+func (t *TCPTransport) Samples(batch []daemon.Sample) error {
+	return t.send(wireMsg{Samples: batch})
+}
 
 // Update implements daemon.Transport.
-func (t *TCPTransport) Update(u daemon.Update) { t.send(wireMsg{Update: &u}) }
+func (t *TCPTransport) Update(u daemon.Update) error {
+	return t.send(wireMsg{Update: &u})
+}

@@ -31,7 +31,7 @@ func (c *Comm) Ssend(r *Rank, data []byte, count int, dt Datatype, dest, tag int
 		src: r, dst: peer, commID: c.id, srcRank: rq.srcRank,
 		tag: tag, bytes: rq.bytes, rendezvous: true, sreq: rq,
 	}
-	m.arrival = r.Now().Add(c.w.Impl.Cost.MsgTime(r.node, peer.node, 0))
+	m.arrival = r.Now().Add(c.w.MsgTime(r.Now(), r.node, peer.node, 0))
 	r.w.Eng.At(m.arrival, m.deliver)
 	r.waitInternal(rq, r.waitDescr(rq))
 	return nil

@@ -130,7 +130,7 @@ func (m *message) returnCredit(t sim.Time) {
 	bytes := m.creditBytes
 	m.creditBytes = 0
 	src, dstGID := m.src, m.dst.global
-	lat := m.dst.w.Impl.Cost.MsgTime(m.dst.node, m.src.node, 0)
+	lat := m.dst.w.MsgTime(t, m.dst.node, m.src.node, 0)
 	m.dst.w.Eng.At(t.Add(lat), func() { src.addCredit(dstGID, bytes) })
 }
 
@@ -138,15 +138,14 @@ func (m *message) returnCredit(t sim.Time) {
 // where tm is the match time (>= both the arrival and the post time).
 func (m *message) match(rq *Request, tm sim.Time) {
 	w := m.dst.w
-	cost := &w.Impl.Cost
-	lat := cost.MsgTime(m.src.node, m.dst.node, 0) // pure latency
+	lat := w.MsgTime(tm, m.src.node, m.dst.node, 0) // pure latency
 	if !m.rendezvous {
 		rq.complete(m, tm)
 		m.returnCredit(tm)
 		return
 	}
 	// Rendezvous: clear-to-send travels back, then the payload crosses.
-	transfer := cost.MsgTime(m.src.node, m.dst.node, m.bytes) - lat
+	transfer := w.MsgTime(tm, m.src.node, m.dst.node, m.bytes) - lat
 	ctsAt := tm.Add(lat)
 	sendDone := ctsAt.Add(transfer)
 	recvDone := sendDone.Add(lat)
@@ -191,11 +190,10 @@ func (r *Rank) addCredit(dstGID int, bytes int) {
 // dispatchEager injects an eager message into the network at time t,
 // charging creditBytes against the flow window (0 for internal traffic).
 func (r *Rank) dispatchEager(rq *Request, t sim.Time, creditBytes int) {
-	cost := &r.w.Impl.Cost
 	m := &message{
 		src: r, dst: rq.dst, commID: rq.commID, srcRank: rq.srcRank,
 		tag: rq.sendTag, bytes: rq.bytes, data: rq.data,
-		arrival:  t.Add(cost.MsgTime(r.node, rq.dst.node, rq.bytes)),
+		arrival:  t.Add(r.w.MsgTime(t, r.node, rq.dst.node, rq.bytes)),
 		internal: rq.internal, sreq: rq,
 		creditBytes: creditBytes,
 	}

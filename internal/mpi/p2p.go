@@ -30,7 +30,7 @@ func (r *Rank) isendInternal(comm *Comm, dst, tag, count int, dt Datatype, data 
 			src: r, dst: peer, commID: comm.id, srcRank: rq.srcRank,
 			tag: tag, bytes: bytes, rendezvous: true, sreq: rq, internal: internal,
 		}
-		m.arrival = r.Now().Add(cost.MsgTime(r.node, peer.node, 0))
+		m.arrival = r.Now().Add(r.w.MsgTime(r.Now(), r.node, peer.node, 0))
 		r.w.Eng.At(m.arrival, m.deliver)
 		return rq, nil
 	}

@@ -44,6 +44,7 @@ type Rank struct {
 	inLibraryWait int
 
 	finalized bool
+	lost      bool // forcibly terminated (node crash / job abort)
 }
 
 // --- identity ----------------------------------------------------------
@@ -237,6 +238,39 @@ func (r *Rank) GetParent() *Comm {
 	f := r.beginMPI("MPI_Comm_get_parent")
 	defer r.endMPI(f)
 	return r.parentComm
+}
+
+// Lose forcibly terminates the process (node crash / job abort): its
+// simulated process is killed and ProcessLost hooks fire. Returns false if
+// the process had already finished (or was already lost). Must be called
+// from scheduler context.
+func (r *Rank) Lose(reason string) bool {
+	if r.lost || !r.proc.Kill(reason) {
+		return false
+	}
+	r.lost = true
+	r.w.fireProcessLost(r, reason)
+	return true
+}
+
+// Lost reports whether the process was forcibly terminated.
+func (r *Rank) Lost() bool { return r.lost }
+
+// Abort terminates the process like Lose but reports an observed exit
+// (ProcessExited) instead of lost data: when the launcher tears the job down
+// the tool watches it happen, so the rank's collected data stays
+// trustworthy. Returns false if the process had already finished or was
+// already lost.
+func (r *Rank) Abort(reason string) bool {
+	if r.lost || !r.proc.Kill(reason) {
+		return false
+	}
+	for _, h := range r.w.hooks {
+		if h.ProcessExited != nil {
+			h.ProcessExited(r)
+		}
+	}
+	return true
 }
 
 func (r *Rank) String() string {

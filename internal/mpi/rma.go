@@ -236,7 +236,7 @@ func (w *Win) Post(group []int, assert int) error {
 	// Post notices travel to origins; wake anyone blocked in Win_start.
 	for _, o := range group {
 		origin := ws.comm.local[o]
-		lat := ws.w.Impl.Cost.MsgTime(r.node, origin.node, 0)
+		lat := ws.w.MsgTime(r.Now(), r.node, origin.node, 0)
 		at := r.Now().Add(lat)
 		ws.w.Eng.At(at, func() { origin.wakeAt(at) })
 	}
@@ -293,7 +293,7 @@ func (w *Win) Complete() error {
 	ws := w.shared
 	for _, t := range w.startGroup {
 		target := ws.comm.local[t]
-		lat := ws.w.Impl.Cost.MsgTime(r.node, target.node, 0)
+		lat := ws.w.MsgTime(r.Now(), r.node, target.node, 0)
 		at := r.Now().Add(lat)
 		tt := t
 		ws.w.Eng.At(at, func() {
@@ -351,7 +351,7 @@ func (w *Win) Lock(lockType, rank, assert int) error {
 	w.lockedOn[rank] = true
 	// Acquiring the lock costs a round trip to the target.
 	target := ws.comm.local[rank]
-	r.IdleWait(2 * ws.w.Impl.Cost.MsgTime(r.node, target.node, 0))
+	r.IdleWait(2 * ws.w.MsgTime(r.Now(), r.node, target.node, 0))
 	return nil
 }
 
@@ -372,7 +372,7 @@ func (w *Win) Unlock(rank int) error {
 	w.waitMyOps()
 	ws := w.shared
 	target := ws.comm.local[rank]
-	r.IdleWait(2 * ws.w.Impl.Cost.MsgTime(r.node, target.node, 0))
+	r.IdleWait(2 * ws.w.MsgTime(r.Now(), r.node, target.node, 0))
 	delete(w.lockedOn, rank)
 	ls := ws.locks[rank]
 	ls.holders--

@@ -22,7 +22,7 @@ func (w *Win) issueTransfer(targetRank int, apply func()) {
 	target := ws.comm.local[targetRank]
 	op := &rmaOp{}
 	w.ops = append(w.ops, op)
-	at := r.Now().Add(ws.w.Impl.Cost.MsgTime(r.node, target.node, 0))
+	at := r.Now().Add(ws.w.MsgTime(r.Now(), r.node, target.node, 0))
 	ws.w.Eng.At(at, func() {
 		if apply != nil {
 			apply()

@@ -27,6 +27,10 @@ type Hooks struct {
 	// Spawned fires once per spawn operation, from the root parent's
 	// context, after the child ranks exist but before they start running.
 	Spawned func(parent *Rank, children []*Rank)
+	// ProcessLost fires when a process is forcibly terminated (node crash,
+	// job abort) rather than exiting cleanly. ProcessExited does NOT fire
+	// for lost processes.
+	ProcessLost func(r *Rank, reason string)
 }
 
 // ProcEntry is one row of the MPIR debugging-interface process table
@@ -44,6 +48,11 @@ type World struct {
 	Eng  *sim.Engine
 	Spec *cluster.Spec
 	Impl *Impl
+
+	// Net, when non-nil, overlays fault-injected link conditions (latency
+	// spikes, bandwidth collapse, severed links) on the implementation's
+	// cost model. Nil (the default) costs nothing on the message path.
+	Net *cluster.Network
 
 	// FS is a tiny in-memory filesystem for things like LAM application
 	// schema files named by Info keys.
@@ -87,6 +96,64 @@ func (w *World) AddHooks(h *Hooks) { w.hooks = append(w.hooks, h) }
 
 // Ranks returns every rank ever created, by global id.
 func (w *World) Ranks() []*Rank { return w.ranks }
+
+// MsgTime returns the transit duration of a message entering the network at
+// virtual time now, applying any fault-injected link conditions. With no
+// Network installed it is exactly the cost model's MsgTime.
+func (w *World) MsgTime(now sim.Time, fromNode, toNode, bytes int) sim.Duration {
+	if w.Net == nil {
+		return w.Impl.Cost.MsgTime(fromNode, toNode, bytes)
+	}
+	lat, bw := w.Impl.Cost.LinkParams(fromNode, toNode)
+	lat, bw, hold := w.Net.Apply(now, fromNode, toNode, lat, bw)
+	return hold + lat + sim.Duration(float64(bytes)/bw*float64(sim.Second))
+}
+
+// KillNode forcibly terminates every unfinished process on the named node
+// (modelling a node crash) and fires ProcessLost hooks for each. It returns
+// how many processes were killed. Must be called from scheduler context.
+func (w *World) KillNode(name, reason string) int {
+	idx := -1
+	for i, nd := range w.Spec.Nodes {
+		if nd.Name == name {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return 0
+	}
+	n := 0
+	for _, r := range w.ranks {
+		if r.node == idx && r.Lose(reason) {
+			n++
+		}
+	}
+	return n
+}
+
+// AbortAll forcibly terminates every unfinished process in the world — the
+// equivalent of mpirun tearing the job down after it notices a node failure.
+// Survivors are reported as observed exits (Abort), not as lost data: only
+// the processes that vanished before the teardown degrade coverage. Returns
+// how many processes were killed.
+func (w *World) AbortAll(reason string) int {
+	n := 0
+	for _, r := range w.ranks {
+		if r.Abort(reason) {
+			n++
+		}
+	}
+	return n
+}
+
+// fireProcessLost notifies hooks that a process was forcibly terminated.
+func (w *World) fireProcessLost(r *Rank, reason string) {
+	for _, h := range w.hooks {
+		if h.ProcessLost != nil {
+			h.ProcessLost(r, reason)
+		}
+	}
+}
 
 // Proctable returns the MPIR-style process table: every application process
 // with its location. Debugger-style tools use it for the attach method.

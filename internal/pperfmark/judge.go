@@ -8,6 +8,7 @@ import (
 	"pperf/internal/consultant"
 	"pperf/internal/core"
 	"pperf/internal/daemon"
+	"pperf/internal/faults"
 	"pperf/internal/frontend"
 	"pperf/internal/mpi"
 	"pperf/internal/resource"
@@ -32,6 +33,9 @@ type RunOptions struct {
 	// Metrics lists extra whole-program metric series to enable before
 	// launch, retrievable from Result.Extra.
 	Metrics []string
+	// Faults arms a fault-injection plan on the session (nil = healthy run,
+	// byte-identical to a build without fault support).
+	Faults *faults.Plan
 }
 
 // ScaledPCConfig is the Performance Consultant configuration used for the
@@ -61,6 +65,11 @@ type Result struct {
 	Extra map[string]*frontend.Series
 	// RunTime is the program's virtual wall-clock duration.
 	RunTime sim.Time
+	// Coverage is the fraction of processes still reporting at the end of
+	// the run (1.0 for a healthy run; < 1.0 after injected failures).
+	Coverage float64
+	// FaultLog lists the injected events that fired (empty without a plan).
+	FaultLog []string
 	// Unsupported is set when the implementation cannot run the program at
 	// all (spawn on MPICH/MPICH2), mirroring the paper's restrictions.
 	Unsupported error
@@ -106,6 +115,7 @@ func Run(name string, opt RunOptions) (*Result, error) {
 		Seed:        opt.Seed,
 		Daemon:      &dcfg,
 		BinWidth:    50 * sim.Millisecond,
+		Faults:      opt.Faults,
 	})
 	if err != nil {
 		return nil, err
@@ -177,6 +187,10 @@ func Run(name string, opt RunOptions) (*Result, error) {
 		return nil, err
 	}
 	res.RunTime = s.Eng.Now()
+	res.Coverage = s.FE.Coverage()
+	if s.Injector != nil {
+		res.FaultLog = s.Injector.Log()
+	}
 	return res, nil
 }
 

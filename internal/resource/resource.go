@@ -165,6 +165,10 @@ func (n *Node) Retire() { n.retired = true }
 // Retired reports whether the node is retired.
 func (n *Node) Retired() bool { return n.retired }
 
+// Unretire reverses Retire — used when a presumed-dead resource recovers
+// (e.g. a hung tool daemon resumes reporting).
+func (n *Node) Unretire() { n.retired = false }
+
 // Walk visits the subtree rooted at n in depth-first order.
 func (n *Node) Walk(visit func(*Node)) {
 	visit(n)

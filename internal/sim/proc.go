@@ -34,10 +34,17 @@ type Proc struct {
 	waitWhat  string // description of what the proc is waiting for
 	panicErr  error
 
+	killed     bool
+	killReason string
+
 	// Val is an arbitrary slot for higher layers to attach per-process
 	// context (e.g. the MPI rank state) without a map lookup.
 	Val any
 }
+
+// procKilled is the panic sentinel used to unwind a killed process's
+// goroutine. It is recovered in run and never escapes the package.
+type procKilled struct{ reason string }
 
 // StartProc creates a new simulated process named name whose body is fn; it
 // becomes runnable at the current virtual time. May be called before Run or
@@ -75,12 +82,17 @@ func (p *Proc) run(fn func(*Proc)) {
 	<-p.resume
 	defer func() {
 		if r := recover(); r != nil {
-			p.panicErr = fmt.Errorf("sim: process %q panicked at %v: %v\n%s",
-				p.name, p.now, r, debug.Stack())
+			if _, wasKill := r.(procKilled); !wasKill {
+				p.panicErr = fmt.Errorf("sim: process %q panicked at %v: %v\n%s",
+					p.name, p.now, r, debug.Stack())
+			}
 		}
 		p.state = stateDone
 		p.yield <- struct{}{}
 	}()
+	if p.killed {
+		return // killed before first dispatch
+	}
 	fn(p)
 }
 
@@ -144,12 +156,42 @@ func (p *Proc) WakeAt(t Time) bool {
 	return true
 }
 
+// Kill forcibly terminates the process (modelling a node crash or a job
+// abort): the next time the scheduler dispatches it, its goroutine unwinds —
+// running deferred functions — without executing further application code,
+// and the process counts as done without an error. Kill must be called from
+// scheduler context (an event callback) or from another running process;
+// killing an already-done or currently-running process is a no-op returning
+// false.
+func (p *Proc) Kill(reason string) bool {
+	if p.state == stateDone || p.state == stateRunning || p.killed {
+		return false
+	}
+	p.killed = true
+	p.killReason = reason
+	e := p.eng
+	if t := e.Now(); t > p.now {
+		p.now = t
+	}
+	e.seq++
+	p.readyAt = p.now
+	p.readySeq = e.seq
+	p.state = stateReady
+	return true
+}
+
+// Killed reports whether the process was terminated with Kill, and why.
+func (p *Proc) Killed() (bool, string) { return p.killed, p.killReason }
+
 // switchOut transfers control back to the scheduler and blocks until the
 // scheduler dispatches this process again.
 func (p *Proc) switchOut() {
 	p.yield <- struct{}{}
 	<-p.resume
 	p.state = stateRunning
+	if p.killed {
+		panic(procKilled{reason: p.killReason})
+	}
 }
 
 // Done reports whether the process has finished.
