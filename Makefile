@@ -17,7 +17,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/frontend ./internal/daemon ./internal/faults
+	$(GO) test -race ./internal/frontend ./internal/daemon ./internal/faults ./internal/trace
 
 verify: build vet test race
 

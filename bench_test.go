@@ -26,6 +26,7 @@ import (
 	"pperf/internal/probe"
 	"pperf/internal/resource"
 	"pperf/internal/sim"
+	"pperf/internal/trace"
 )
 
 // benchExperiment regenerates one of the paper's artifacts per iteration.
@@ -282,6 +283,44 @@ func BenchmarkFaultsArmedIdle(b *testing.B) {
 	}
 	if cold != idle {
 		b.Fatalf("armed-but-idle fault machinery perturbed the run: %v vs %v", idle, cold)
+	}
+}
+
+// --- tracing overhead --------------------------------------------------------
+
+// benchTraceRun executes one suite program under the tool with tracing armed
+// or cold (nil config) and returns the virtual runtime.
+func benchTraceRun(b *testing.B, cfg *trace.Config) sim.Time {
+	b.Helper()
+	res, err := pperfmark.Run("random-barrier", pperfmark.RunOptions{
+		Impl: mpi.LAM, DisablePC: true, Trace: cfg,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.RunTime
+}
+
+// BenchmarkTraceDisabled is the baseline cost of carrying the trace
+// subsystem without arming it: every hook site is a nil pointer check. Its
+// ns/op should be indistinguishable from a build without trace support.
+func BenchmarkTraceDisabled(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchTraceRun(b, nil)
+	}
+}
+
+// BenchmarkTraceArmed records the full span stream and checks the guarantee
+// that tracing never perturbs the simulated application: the virtual runtime
+// must equal the hooks-cold run's exactly.
+func BenchmarkTraceArmed(b *testing.B) {
+	var cold, armed sim.Time
+	for i := 0; i < b.N; i++ {
+		cold = benchTraceRun(b, nil)
+		armed = benchTraceRun(b, &trace.Config{})
+	}
+	if cold != armed {
+		b.Fatalf("armed tracing perturbed the run: %v vs %v", armed, cold)
 	}
 }
 

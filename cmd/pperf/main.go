@@ -23,6 +23,7 @@ import (
 	"pperf/internal/mpi"
 	"pperf/internal/pcl"
 	"pperf/internal/pperfmark"
+	"pperf/internal/trace"
 )
 
 func main() {
@@ -34,11 +35,14 @@ func main() {
 		procs     = flag.Int("np", 0, "override the process count")
 		waste     = flag.Int("ttw", 0, "override TIMETOWASTE")
 		hier      = flag.Bool("hierarchy", false, "print the final resource hierarchy")
-		tcp       = flag.Bool("judge", true, "judge the findings against the paper's expectations")
+		judge     = flag.Bool("judge", true, "judge the findings against the paper's expectations")
 		spawnVia  = flag.String("spawn", "intercept", "spawn support method: intercept | attach")
 		seed      = flag.Uint64("seed", 0, "simulation seed")
 		pclFile   = flag.String("pcl", "", "run from a Paradyn Configuration Language file instead")
 		faultSpec = flag.String("faults", "", "fault-injection plan, e.g. 't=2s kill-node node1' (see FAULTS.md)")
+		traceOut  = flag.String("trace", "", "write the merged event trace to this file (see TRACING.md)")
+		traceFmt  = flag.String("trace-format", "perfetto", "trace file format: perfetto (Chrome trace-event JSON) | csv")
+		critPath  = flag.Bool("critical-path", false, "trace the run and print the critical-path analysis")
 	)
 	flag.Parse()
 
@@ -82,6 +86,14 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	if *traceFmt != "perfetto" && *traceFmt != "csv" {
+		fmt.Fprintf(os.Stderr, "pperf: unknown -trace-format %q (perfetto | csv)\n", *traceFmt)
+		os.Exit(2)
+	}
+	var tcfg *trace.Config
+	if *traceOut != "" || *critPath {
+		tcfg = &trace.Config{}
+	}
 
 	res, err := pperfmark.Run(*prog, pperfmark.RunOptions{
 		Impl:  impl,
@@ -93,6 +105,7 @@ func main() {
 			TimeToWaste: *waste,
 		},
 		Faults: plan,
+		Trace:  tcfg,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pperf:", err)
@@ -119,7 +132,20 @@ func main() {
 		fmt.Println("\nResource hierarchy:")
 		fmt.Print(res.Session.FE.Hierarchy().Render())
 	}
-	if *tcp {
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, *traceFmt, res.Timeline); err != nil {
+			fmt.Fprintln(os.Stderr, "pperf:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nTrace written to %s (%s format, %d shards, %d spans dropped)\n",
+			*traceOut, *traceFmt, res.Timeline.Shards(), res.Timeline.Dropped())
+	}
+	if *critPath {
+		cp := trace.Analyze(res.Timeline)
+		fmt.Println()
+		fmt.Print(cp.Render())
+	}
+	if *judge {
 		v := pperfmark.Judge(res)
 		verdict := "Pass"
 		if !v.Pass {
@@ -187,6 +213,24 @@ func runFromPCL(path string) error {
 		s.Close()
 	}
 	return nil
+}
+
+// writeTrace exports the merged timeline in the requested format.
+func writeTrace(path, format string, tl *trace.Timeline) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "csv":
+		err = trace.WriteCSV(f, tl)
+	default:
+		err = trace.WriteChrome(f, tl)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func parseImpl(name string) (mpi.ImplKind, error) {

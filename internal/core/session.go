@@ -17,6 +17,7 @@ import (
 	"pperf/internal/mpi"
 	"pperf/internal/resource"
 	"pperf/internal/sim"
+	"pperf/internal/trace"
 )
 
 // Options configure a Session.
@@ -51,6 +52,12 @@ type Options struct {
 	// faults are scheduled. Nil (the default) leaves every fault hook cold —
 	// runs are byte-identical to a build without the fault subsystem.
 	Faults *faults.Plan
+	// Trace arms the event-tracing subsystem: every process records spans
+	// into a ring buffer, daemons stream shards to the front end, and the
+	// merged timeline becomes available from FrontEnd.Timeline. Nil (the
+	// default) leaves every trace hook cold — runs are byte-identical to a
+	// build without the trace subsystem.
+	Trace *trace.Config
 }
 
 // Session is a live tool instance around one simulated cluster.
@@ -65,6 +72,8 @@ type Session struct {
 	// Injector is non-nil when a fault plan is armed; its Log records what
 	// fired.
 	Injector *faults.Injector
+	// Tracer is non-nil when tracing is armed (Options.Trace).
+	Tracer *trace.Tracer
 
 	listener   *frontend.Listener
 	transports []*frontend.TCPTransport
@@ -148,6 +157,14 @@ func NewSession(opts Options) (*Session, error) {
 		fe.AddDaemon(d)
 	}
 	daemon.AttachAll(world, s.Daemons)
+	if opts.Trace != nil {
+		s.Tracer = trace.New(opts.Trace)
+		world.Tracer = s.Tracer
+		fe.EnableTrace()
+		for _, d := range s.Daemons {
+			d.EnableTracing(s.Tracer)
+		}
+	}
 	if opts.DiscoverTags == nil || *opts.DiscoverTags {
 		installTagDiscovery(s)
 	}
@@ -266,10 +283,29 @@ func (s *Session) MustEnable(metricName string, focus resource.Focus) *frontend.
 }
 
 // Run executes the simulation to completion.
-func (s *Session) Run() error { return s.Eng.Run() }
+func (s *Session) Run() error {
+	err := s.Eng.Run()
+	s.flushTrace()
+	return err
+}
 
 // RunFor executes the simulation for a bounded virtual duration.
-func (s *Session) RunFor(d sim.Duration) error { return s.Eng.RunFor(d) }
+func (s *Session) RunFor(d sim.Duration) error {
+	err := s.Eng.RunFor(d)
+	s.flushTrace()
+	return err
+}
+
+// flushTrace ships spans recorded after each daemon's last sampling tick
+// (the end-of-run flush). A no-op when tracing is not armed.
+func (s *Session) flushTrace() {
+	if s.Tracer == nil {
+		return
+	}
+	for _, d := range s.Daemons {
+		d.FlushTrace()
+	}
+}
 
 // Close releases TCP resources (no-op for in-process transport).
 func (s *Session) Close() {

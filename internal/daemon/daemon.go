@@ -10,17 +10,24 @@ import (
 	"pperf/internal/probe"
 	"pperf/internal/resource"
 	"pperf/internal/sim"
+	"pperf/internal/trace"
 )
 
 // Daemon is one node's tool daemon. Create one per cluster node with New,
 // wire the set into the world with Attach, then start sampling with Start.
 type Daemon struct {
-	name string
-	node int
-	eng  *sim.Engine
-	lib  *mdl.Library
-	tr   Transport
-	cfg  Config
+	name     string
+	node     int
+	nodeName string
+	eng      *sim.Engine
+	lib      *mdl.Library
+	tr       Transport
+	cfg      Config
+
+	// tracer, when non-nil, makes the daemon the streaming stage of the
+	// tracing subsystem: each tick it drains its node's span recorders into
+	// shards and ships them through the report transport (see outbox.go).
+	tracer *trace.Tracer
 
 	ranks []*rankCtx
 	// enabled remembers every metric-focus enable request so processes
@@ -77,14 +84,19 @@ func NameFor(nodeName string) string { return "paradynd@" + nodeName }
 // New creates the daemon for one node.
 func New(eng *sim.Engine, node int, nodeName string, lib *mdl.Library, tr Transport, cfg Config) *Daemon {
 	return &Daemon{
-		name: NameFor(nodeName),
-		node: node,
-		eng:  eng,
-		lib:  lib,
-		tr:   tr,
-		cfg:  cfg,
+		name:     NameFor(nodeName),
+		node:     node,
+		nodeName: nodeName,
+		eng:      eng,
+		lib:      lib,
+		tr:       tr,
+		cfg:      cfg,
 	}
 }
+
+// EnableTracing arms trace-shard streaming: the daemon drains tr's span
+// recorders for its node on every tick and ships them to the front end.
+func (d *Daemon) EnableTracing(tr *trace.Tracer) { d.tracer = tr }
 
 // Name returns the daemon's identity.
 func (d *Daemon) Name() string { return d.name }
@@ -180,6 +192,12 @@ func (d *Daemon) adoptNow(r *mpi.Rank) {
 	d.ranks = append(d.ranks, rc)
 	r.Probes().PerProbeCost = d.cfg.PerProbeCost
 	r.Probes().OnFirstCall = func(f *probe.Function) { rc.functionDiscovered(f) }
+	if tr := d.tracer; tr != nil {
+		proc, node := r.Probes().Name(), r.NodeName()
+		r.Probes().OnFire = func(fn string, _ probe.Where, n int, t sim.Time) {
+			tr.ProbeFired(proc, node, fn, t, n)
+		}
+	}
 
 	d.sendUpdate(Update{
 		Kind: UpAddResource, Time: d.eng.Now(),
@@ -419,10 +437,16 @@ func (d *Daemon) tick() {
 		return
 	}
 	d.flushOutbox()
+	n := 0
 	for _, rc := range d.ranks {
 		if !rc.exited {
 			d.sampleRank(rc)
+			n++
 		}
+	}
+	if d.tracer != nil {
+		d.tracer.DaemonSample(d.name, d.nodeName, d.eng.Now(), n)
+		d.flushTraceShards()
 	}
 }
 

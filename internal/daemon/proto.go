@@ -10,6 +10,7 @@ package daemon
 import (
 	"pperf/internal/resource"
 	"pperf/internal/sim"
+	"pperf/internal/trace"
 )
 
 // Sample is one sampled metric delta for one process.
@@ -67,6 +68,14 @@ type Update struct {
 type Transport interface {
 	Samples(batch []Sample) error
 	Update(u Update) error
+}
+
+// TraceSink is the optional Transport extension for the tracing subsystem:
+// transports that implement it also carry trace shards to the front end.
+// The daemon type-asserts for it, so Transport stubs in tests keep working
+// untouched (their shards are silently discarded).
+type TraceSink interface {
+	TraceShard(sh trace.Shard) error
 }
 
 // SpawnMethod selects how the tool supports MPI_Comm_spawn (§4.2.2).

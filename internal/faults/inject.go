@@ -6,6 +6,7 @@ import (
 
 	"pperf/internal/daemon"
 	"pperf/internal/sim"
+	"pperf/internal/trace"
 )
 
 // Hooks are the actions the injector drives. The session layer wires them to
@@ -184,4 +185,17 @@ func (ft *FlakyTransport) Update(u daemon.Update) error {
 		return fmt.Errorf("faults: injected transport failure")
 	}
 	return ft.Inner.Update(u)
+}
+
+// TraceShard implements daemon.TraceSink when the wrapped transport does;
+// injected failures hit shards exactly like samples and updates.
+func (ft *FlakyTransport) TraceShard(sh trace.Shard) error {
+	ts, ok := ft.Inner.(daemon.TraceSink)
+	if !ok {
+		return nil
+	}
+	if ft.fail() {
+		return fmt.Errorf("faults: injected transport failure")
+	}
+	return ts.TraceShard(sh)
 }

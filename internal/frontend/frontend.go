@@ -15,6 +15,7 @@ import (
 	"pperf/internal/metric"
 	"pperf/internal/resource"
 	"pperf/internal/sim"
+	"pperf/internal/trace"
 )
 
 // ProcInfo is what the front end knows about one application process.
@@ -49,6 +50,10 @@ type FrontEnd struct {
 	// arms the liveness monitor or a daemon-stamped report arrives).
 	liveness map[string]*DaemonHealth
 
+	// timeline, when non-nil, merges the trace shards the daemons stream
+	// (nil unless tracing is enabled for the run).
+	timeline *trace.Timeline
+
 	// NumBins/BinWidth configure new histograms (defaults are Paradyn's).
 	NumBins  int
 	BinWidth sim.Duration
@@ -68,6 +73,37 @@ func New() *FrontEnd {
 // AddDaemon registers a daemon the front end controls.
 func (fe *FrontEnd) AddDaemon(d *daemon.Daemon) {
 	fe.daemons = append(fe.daemons, d)
+}
+
+// EnableTrace prepares the front end to merge daemon trace shards.
+func (fe *FrontEnd) EnableTrace() {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	if fe.timeline == nil {
+		fe.timeline = trace.NewTimeline()
+	}
+}
+
+// Timeline returns the merged trace timeline (nil when tracing was never
+// enabled).
+func (fe *FrontEnd) Timeline() *trace.Timeline {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	return fe.timeline
+}
+
+// TraceShard implements daemon.TraceSink: merge one streamed shard. Shards
+// arriving over TCP before EnableTrace (ordering races are impossible in
+// the simulation, but cheap to tolerate) lazily create the timeline.
+func (fe *FrontEnd) TraceShard(sh trace.Shard) error {
+	fe.mu.Lock()
+	if fe.timeline == nil {
+		fe.timeline = trace.NewTimeline()
+	}
+	tl := fe.timeline
+	fe.mu.Unlock()
+	tl.Ingest(sh)
+	return nil
 }
 
 // Series is the collected data of one enabled metric-focus pair: the

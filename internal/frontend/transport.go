@@ -10,6 +10,7 @@ import (
 
 	"pperf/internal/daemon"
 	"pperf/internal/sim"
+	"pperf/internal/trace"
 )
 
 // The TCP transport carries daemon reports to the front end over a real
@@ -37,6 +38,7 @@ type wireMsg struct {
 
 	Samples []daemon.Sample
 	Update  *daemon.Update
+	Shard   *trace.Shard
 }
 
 // RetryConfig tunes the daemon-side transport's robustness behaviour.
@@ -203,6 +205,9 @@ func (l *Listener) handle(conn net.Conn) {
 			}
 			if msg.Update != nil {
 				l.fe.Update(*msg.Update)
+			}
+			if msg.Shard != nil {
+				l.fe.TraceShard(*msg.Shard)
 			}
 		}
 		if err := enc.Encode(true); err != nil { // ack
@@ -412,4 +417,10 @@ func (t *TCPTransport) Samples(batch []daemon.Sample) error {
 // Update implements daemon.Transport.
 func (t *TCPTransport) Update(u daemon.Update) error {
 	return t.send(wireMsg{Update: &u})
+}
+
+// TraceShard implements daemon.TraceSink: trace shards ride the same
+// acknowledged, deduped, retrying frame stream as samples and updates.
+func (t *TCPTransport) TraceShard(sh trace.Shard) error {
+	return t.send(wireMsg{Shard: &sh})
 }

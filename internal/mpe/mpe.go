@@ -1,9 +1,11 @@
 // Package mpe is the reproduction's stand-in for the MPE logging libraries
 // and the Jumpshot-3 viewer, which the paper uses as an independent
 // comparator for the tool's findings (§5.1.4–5.1.6, Figs 12, 13, 16, 17):
-// it traces every MPI call as a state interval per process and renders
+// it renders every outermost MPI call as a state interval per process, in
 // Jumpshot's Statistical Preview (average number of processes in each state
-// over time) and Time Lines windows as text.
+// over time) and Time Lines windows as text. The intervals come from the
+// shared internal/trace event stream — mpe is a consumer of the tracing
+// subsystem, not a second instrumentation layer.
 package mpe
 
 import (
@@ -12,8 +14,8 @@ import (
 	"strings"
 
 	"pperf/internal/mpi"
-	"pperf/internal/probe"
 	"pperf/internal/sim"
+	"pperf/internal/trace"
 )
 
 // Interval is one logged state: a process was inside an MPI call from Start
@@ -29,9 +31,6 @@ type Interval struct {
 // it is link-time tracing: attach before launching programs.
 type Tracer struct {
 	intervals []Interval
-	// depth tracks the outermost-call nesting per process so internal
-	// nested MPI calls merge into the enclosing state, as Jumpshot shows.
-	open map[string]*openState
 	// MaxEvents caps the log (the paper had to shorten runs to keep trace
 	// files usable, §5.1.4 — the cap models the same pressure). 0 means
 	// unlimited.
@@ -39,66 +38,36 @@ type Tracer struct {
 	truncated bool
 }
 
-type openState struct {
-	state string
-	start sim.Time
-	depth int
-}
-
-// Attach registers the tracer's instrumentation on all current and future
-// processes of the world.
+// Attach subscribes an MPE tracer to the world's trace event stream, arming
+// the stream first when no tracing was configured. Only outermost (depth 0)
+// MPI spans become intervals: internal nested calls merge into the enclosing
+// state, as Jumpshot shows.
 func Attach(w *mpi.World) *Tracer {
-	t := &Tracer{open: map[string]*openState{}}
-	w.AddHooks(&mpi.Hooks{
-		ProcessStarted: func(r *mpi.Rank) { t.instrument(r) },
+	t := &Tracer{}
+	tr := w.Tracer
+	if tr == nil {
+		tr = trace.New(nil)
+		w.Tracer = tr
+	}
+	tr.AddObserver(func(s trace.Span) {
+		if s.Kind != trace.MPISpan || s.Depth != 0 {
+			return
+		}
+		if t.MaxEvents > 0 && len(t.intervals) >= t.MaxEvents {
+			t.truncated = true
+			return
+		}
+		t.intervals = append(t.intervals, Interval{
+			Proc: s.Proc, State: displayState(s.Name), Start: s.Start, End: s.End,
+		})
 	})
 	return t
-}
-
-// instrument inserts entry/return probes on every MPI routine of a process.
-func (t *Tracer) instrument(r *mpi.Rank) {
-	name := r.Probes().Name()
-	for _, fn := range mpi.AllFunctionNames() {
-		fn := fn
-		r.Probes().Insert(fn, probe.Entry, probe.Prepend, func(ev *probe.Event) {
-			t.enter(name, displayState(ev.Func.Name), ev.Time)
-		})
-		r.Probes().Insert(fn, probe.Return, probe.Append, func(ev *probe.Event) {
-			t.leave(name, ev.Time)
-		})
-	}
 }
 
 // displayState canonicalizes PMPI_ symbols to the MPI_ state names Jumpshot
 // displays.
 func displayState(fn string) string {
 	return strings.TrimPrefix(fn, "P")
-}
-
-func (t *Tracer) enter(proc, state string, at sim.Time) {
-	os := t.open[proc]
-	if os == nil {
-		t.open[proc] = &openState{state: state, start: at, depth: 1}
-		return
-	}
-	os.depth++
-}
-
-func (t *Tracer) leave(proc string, at sim.Time) {
-	os := t.open[proc]
-	if os == nil {
-		return
-	}
-	os.depth--
-	if os.depth > 0 {
-		return
-	}
-	delete(t.open, proc)
-	if t.MaxEvents > 0 && len(t.intervals) >= t.MaxEvents {
-		t.truncated = true
-		return
-	}
-	t.intervals = append(t.intervals, Interval{Proc: proc, State: os.state, Start: os.start, End: at})
 }
 
 // Intervals returns the logged state intervals.
@@ -191,7 +160,16 @@ func (t *Tracer) StatisticalPreview() string {
 		bar := strings.Repeat("█", int(avg/float64(max(n, 1))*40+0.5))
 		fmt.Fprintf(&b, "  %-18s %5.2f %s\n", s, avg, bar)
 	}
+	t.writeTruncated(&b)
 	return b.String()
+}
+
+// writeTruncated appends the truncation notice when the event cap was hit,
+// so the rendered windows never pass silently for a complete log.
+func (t *Tracer) writeTruncated(b *strings.Builder) {
+	if t.truncated {
+		fmt.Fprintf(b, "  [log truncated at %d events]\n", len(t.intervals))
+	}
 }
 
 // StateCalls returns how many intervals (outermost calls) were logged for a
@@ -261,10 +239,14 @@ func (t *Tracer) TimeLines(width int) string {
 		line := make([]byte, width)
 		for i := range line {
 			line[i] = '.'
+			// Ties break on state name so the rendering is deterministic
+			// (map iteration order is not).
 			var best sim.Duration
+			var bestState string
 			for state, d := range grid[p][i] {
-				if d > best {
+				if d > best || (d == best && bestState != "" && state < bestState) {
 					best = d
+					bestState = state
 					line[i] = stateInitial(state)
 				}
 			}
@@ -272,6 +254,7 @@ func (t *Tracer) TimeLines(width int) string {
 		fmt.Fprintf(&b, "  %-14s |%s|\n", p, line)
 	}
 	b.WriteString("  legend: initial letter of dominant MPI state per bucket; '.' = computing\n")
+	t.writeTruncated(&b)
 	return b.String()
 }
 

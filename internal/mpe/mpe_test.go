@@ -160,7 +160,7 @@ func TestMaxEventsTruncation(t *testing.T) {
 }
 
 func TestEmptyTrace(t *testing.T) {
-	tr := &Tracer{open: map[string]*openState{}}
+	tr := &Tracer{}
 	if tr.TimeLines(20) != "(empty trace)" {
 		t.Error("empty timeline")
 	}

@@ -31,6 +31,7 @@ func (c *Comm) Ssend(r *Rank, data []byte, count int, dt Datatype, dest, tag int
 		src: r, dst: peer, commID: c.id, srcRank: rq.srcRank,
 		tag: tag, bytes: rq.bytes, rendezvous: true, sreq: rq,
 	}
+	m.sentAt = r.Now()
 	m.arrival = r.Now().Add(c.w.MsgTime(r.Now(), r.node, peer.node, 0))
 	r.w.Eng.At(m.arrival, m.deliver)
 	r.waitInternal(rq, r.waitDescr(rq))

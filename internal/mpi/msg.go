@@ -14,6 +14,7 @@ type message struct {
 	tag        int
 	bytes      int
 	data       []byte
+	sentAt     sim.Time // injection time, for trace message edges
 	arrival    sim.Time
 	rendezvous bool
 	sreq       *Request // sender's request (rendezvous completion, credits)
@@ -105,7 +106,9 @@ func (m *message) deliver() {
 	for i, rq := range dst.posted {
 		if rq.matches(m) {
 			dst.posted = append(dst.posted[:i], dst.posted[i+1:]...)
-			m.match(rq, m.arrival)
+			// The receive was already posted, so the receiver was (or will
+			// be) blocked on this message: a wait edge.
+			m.match(rq, m.arrival, true)
 			return
 		}
 	}
@@ -131,15 +134,20 @@ func (m *message) returnCredit(t sim.Time) {
 	m.creditBytes = 0
 	src, dstGID := m.src, m.dst.global
 	lat := m.dst.w.MsgTime(t, m.dst.node, m.src.node, 0)
-	m.dst.w.Eng.At(t.Add(lat), func() { src.addCredit(dstGID, bytes) })
+	m.dst.w.Eng.At(t.Add(lat), func() { src.addCredit(dstGID, bytes, t) })
 }
 
 // match completes the handshake between message m and receive request rq,
 // where tm is the match time (>= both the arrival and the post time).
-func (m *message) match(rq *Request, tm sim.Time) {
+// waited says the receive was posted before the message arrived (the
+// receiver blocked on it), which makes the trace edge a critical-path edge.
+func (m *message) match(rq *Request, tm sim.Time, waited bool) {
 	w := m.dst.w
 	lat := w.MsgTime(tm, m.src.node, m.dst.node, 0) // pure latency
 	if !m.rendezvous {
+		if tr := w.Tracer; tr != nil {
+			w.traceEdge("msg", m.src, m.dst, m.sentAt, tm, m.tag, m.bytes, tr.NewFlow(), waited)
+		}
 		rq.complete(m, tm)
 		m.returnCredit(tm)
 		return
@@ -150,6 +158,12 @@ func (m *message) match(rq *Request, tm sim.Time) {
 	sendDone := ctsAt.Add(transfer)
 	recvDone := sendDone.Add(lat)
 	sreq := m.sreq
+	if tr := w.Tracer; tr != nil {
+		// The sender blocks until the clear-to-send arrives and the payload
+		// drains; the receiver blocks until the payload lands.
+		w.traceEdge("rendezvous", m.dst, m.src, tm, sendDone, m.tag, 0, 0, true)
+		w.traceEdge("msg", m.src, m.dst, sendDone, recvDone, m.tag, m.bytes, tr.NewFlow(), true)
+	}
 	w.Eng.At(sendDone, func() { sreq.completeSend(sendDone) })
 	w.Eng.At(recvDone, func() {
 		m.data = sreq.data
@@ -159,8 +173,9 @@ func (m *message) match(rq *Request, tm sim.Time) {
 
 // addCredit returns flow-window bytes for sends to destination global id
 // dstGID and dispatches pending sends to that destination that now fit.
-// Runs in event context at the credit's arrival time.
-func (r *Rank) addCredit(dstGID int, bytes int) {
+// Runs in event context at the credit's arrival time. sentAt is when the
+// receiver released the window (for the trace's credit edge).
+func (r *Rank) addCredit(dstGID int, bytes int, sentAt sim.Time) {
 	r.credits[dstGID] += bytes
 	now := r.w.Eng.Now()
 	for r.credits[dstGID] > 0 {
@@ -182,6 +197,11 @@ func (r *Rank) addCredit(dstGID int, bytes int) {
 		r.pendingSends = append(r.pendingSends[:idx], r.pendingSends[idx+1:]...)
 		rq.pending = false
 		r.credits[dstGID] -= charge
+		if tr := r.w.Tracer; tr != nil {
+			// The blocked send was released by the peer freeing flow-window
+			// space: the credit is what the sender was really waiting on.
+			r.w.traceEdge("credit", r.w.ranks[dstGID], r, sentAt, now, 0, charge, 0, true)
+		}
 		r.dispatchEager(rq, now, charge)
 		rq.completeSend(now)
 	}
@@ -193,6 +213,7 @@ func (r *Rank) dispatchEager(rq *Request, t sim.Time, creditBytes int) {
 	m := &message{
 		src: r, dst: rq.dst, commID: rq.commID, srcRank: rq.srcRank,
 		tag: rq.sendTag, bytes: rq.bytes, data: rq.data,
+		sentAt:   t,
 		arrival:  t.Add(r.w.MsgTime(t, r.node, rq.dst.node, rq.bytes)),
 		internal: rq.internal, sreq: rq,
 		creditBytes: creditBytes,

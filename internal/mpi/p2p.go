@@ -30,6 +30,7 @@ func (r *Rank) isendInternal(comm *Comm, dst, tag, count int, dt Datatype, data 
 			src: r, dst: peer, commID: comm.id, srcRank: rq.srcRank,
 			tag: tag, bytes: bytes, rendezvous: true, sreq: rq, internal: internal,
 		}
+		m.sentAt = r.Now()
 		m.arrival = r.Now().Add(r.w.MsgTime(r.Now(), r.node, peer.node, 0))
 		r.w.Eng.At(m.arrival, m.deliver)
 		return rq, nil
@@ -81,7 +82,9 @@ func (r *Rank) irecvInternal(comm *Comm, src, tag, count int, dt Datatype, buf [
 		bytes: count * dt.Size(), buf: buf,
 	}
 	if m := r.findUnexpected(rq); m != nil {
-		m.match(rq, r.Now())
+		// The message was already queued when the receive was posted — the
+		// receiver never blocked on it, so the edge is not a wait edge.
+		m.match(rq, r.Now(), false)
 		return rq, nil
 	}
 	r.posted = append(r.posted, rq)

@@ -106,6 +106,9 @@ func (r *Rank) Compute(d sim.Duration) {
 	r.proc.Sleep(d)
 	r.busyUntil = 0
 	r.cpuUser += d
+	if tr := r.w.Tracer; tr != nil {
+		tr.Compute(r.probes.Name(), r.NodeName(), r.busyFrom, r.proc.Now(), false)
+	}
 }
 
 // SystemCompute burns d inside system calls: wall clock and system time
@@ -118,6 +121,9 @@ func (r *Rank) SystemCompute(d sim.Duration) {
 	r.proc.Sleep(d)
 	r.busyUntil = 0
 	r.cpuSys += d
+	if tr := r.w.Tracer; tr != nil {
+		tr.Compute(r.probes.Name(), r.NodeName(), r.busyFrom, r.proc.Now(), true)
+	}
 }
 
 // busyOverlap returns how much of an in-progress busy window has elapsed by
@@ -166,6 +172,10 @@ func (r *Rank) Call(module, name string, body func()) {
 // beginMPI fires the entry probe of the named MPI routine (resolved through
 // the personality's symbol naming) and returns the function for endMPI.
 func (r *Rank) beginMPI(name string, args ...any) *probe.Function {
+	if tr := r.w.Tracer; tr != nil {
+		peer, tag, bytes, obj := traceMeta(name, args)
+		tr.BeginMPI(r.probes.Name(), r.NodeName(), name, r.Now(), peer, tag, bytes, obj)
+	}
 	f := r.w.Impl.fn(name)
 	r.probes.Enter(f, args...)
 	return f
@@ -174,6 +184,9 @@ func (r *Rank) beginMPI(name string, args ...any) *probe.Function {
 // endMPI fires the return probe.
 func (r *Rank) endMPI(f *probe.Function, args ...any) {
 	r.probes.Leave(f, args...)
+	if tr := r.w.Tracer; tr != nil {
+		tr.EndMPI(r.probes.Name(), r.Now())
+	}
 }
 
 // block suspends the process until woken; what appears in deadlock reports.

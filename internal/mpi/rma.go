@@ -238,6 +238,9 @@ func (w *Win) Post(group []int, assert int) error {
 		origin := ws.comm.local[o]
 		lat := ws.w.MsgTime(r.Now(), r.node, origin.node, 0)
 		at := r.Now().Add(lat)
+		if ws.w.Tracer != nil {
+			ws.w.traceEdge("post", r, origin, r.Now(), at, 0, 0, 0, true)
+		}
 		ws.w.Eng.At(at, func() { origin.wakeAt(at) })
 	}
 	return nil
@@ -296,6 +299,9 @@ func (w *Win) Complete() error {
 		lat := ws.w.MsgTime(r.Now(), r.node, target.node, 0)
 		at := r.Now().Add(lat)
 		tt := t
+		if ws.w.Tracer != nil {
+			ws.w.traceEdge("complete", r, target, r.Now(), at, 0, 0, 0, true)
+		}
 		ws.w.Eng.At(at, func() {
 			ws.completeArrived[tt]++
 			target.wakeAt(at)

@@ -14,15 +14,21 @@ import (
 // datatype $arg[2], and the window $arg[7]. MPI_Accumulate adds op before
 // win, putting the window at $arg[8].
 
-// issueTransfer schedules the asynchronous data movement of one RMA op and
-// registers it in the origin's epoch op list.
-func (w *Win) issueTransfer(targetRank int, apply func()) {
+// issueTransfer schedules the asynchronous data movement of one RMA op
+// (bytes on the wire, for the trace) and registers it in the origin's epoch
+// op list.
+func (w *Win) issueTransfer(targetRank, bytes int, apply func()) {
 	r := w.r
 	ws := w.shared
 	target := ws.comm.local[targetRank]
 	op := &rmaOp{}
 	w.ops = append(w.ops, op)
 	at := r.Now().Add(ws.w.MsgTime(r.Now(), r.node, target.node, 0))
+	if tr := ws.w.Tracer; tr != nil {
+		// Origin→target data movement: a flow for the exporters, but not a
+		// wait edge — RMA completion blocking happens at the epoch calls.
+		ws.w.traceEdge("rma", r, target, r.Now(), at, 0, bytes, tr.NewFlow(), false)
+	}
 	ws.w.Eng.At(at, func() {
 		if apply != nil {
 			apply()
@@ -57,7 +63,7 @@ func (w *Win) Put(data []byte, count int, dt Datatype, targetRank int, disp int,
 	bytes := w.chargeOrigin(count, dt)
 	payload := append([]byte(nil), data...)
 	ws := w.shared
-	w.issueTransfer(targetRank, func() {
+	w.issueTransfer(targetRank, bytes, func() {
 		buf := ws.buf[targetRank]
 		if payload != nil && disp < len(buf) {
 			copy(buf[disp:], payload)
@@ -79,9 +85,9 @@ func (w *Win) Get(buf []byte, count int, dt Datatype, targetRank int, disp int, 
 	if err := w.checkAccess(targetRank, "MPI_Get"); err != nil {
 		return err
 	}
-	w.chargeOrigin(count, dt)
+	bytes := w.chargeOrigin(count, dt)
 	ws := w.shared
-	w.issueTransfer(targetRank, func() {
+	w.issueTransfer(targetRank, bytes, func() {
 		src := ws.buf[targetRank]
 		if buf != nil && disp < len(src) {
 			copy(buf, src[disp:])
@@ -101,10 +107,10 @@ func (w *Win) Accumulate(data []byte, count int, dt Datatype, targetRank int, di
 	if err := w.checkAccess(targetRank, "MPI_Accumulate"); err != nil {
 		return err
 	}
-	w.chargeOrigin(count, dt)
+	bytes := w.chargeOrigin(count, dt)
 	payload := append([]byte(nil), data...)
 	ws := w.shared
-	w.issueTransfer(targetRank, func() {
+	w.issueTransfer(targetRank, bytes, func() {
 		buf := ws.buf[targetRank]
 		if payload == nil || disp >= len(buf) {
 			return

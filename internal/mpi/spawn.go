@@ -63,6 +63,11 @@ func (c *Comm) Spawn(r *Rank, command string, argv []string, maxprocs int, info 
 			}
 			c.spawnResult = inter
 			c.spawnErr = nil
+			if w.Tracer != nil {
+				for _, child := range childWorld.local {
+					w.traceEdge("spawn", r, child, r.Now(), r.Now(), 0, 0, 0, true)
+				}
+			}
 			w.fireCommCreated(r, inter)
 			for _, h := range w.hooks {
 				if h.Spawned != nil {

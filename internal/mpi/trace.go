@@ -1,0 +1,69 @@
+package mpi
+
+import (
+	"strconv"
+
+	"pperf/internal/sim"
+)
+
+// traceMeta extracts a call's trace metadata — peer rank, tag, payload
+// bytes, and communicator/window name — from the probe argument list (which
+// mirrors the C MPI signatures). Only called when tracing is enabled.
+func traceMeta(name string, args []any) (peer string, tag, bytes int, obj string) {
+	intArg := func(i int) int {
+		if i < len(args) {
+			if v, ok := args[i].(int); ok {
+				return v
+			}
+		}
+		return 0
+	}
+	sized := func() int {
+		if len(args) > 2 {
+			if dt, ok := args[2].(Datatype); ok {
+				return intArg(1) * dt.Size()
+			}
+		}
+		return 0
+	}
+	peerOf := func(rank int) string {
+		if rank == AnySource {
+			return "any"
+		}
+		return strconv.Itoa(rank)
+	}
+	switch name {
+	case "MPI_Send", "MPI_Recv", "MPI_Isend", "MPI_Irecv", "MPI_Sendrecv":
+		// (buf, count, datatype, peer, tag, ...) — Sendrecv's leading half
+		// has the same shape.
+		peer = peerOf(intArg(3))
+		tag = intArg(4)
+		bytes = sized()
+	case "MPI_Put", "MPI_Get", "MPI_Accumulate":
+		// (origin, count, datatype, target_rank, ...)
+		peer = peerOf(intArg(3))
+		bytes = sized()
+	case "MPI_Bcast", "MPI_Reduce":
+		// (buf, count, datatype, [op,] root, comm)
+		bytes = sized()
+	}
+	for _, a := range args {
+		switch v := a.(type) {
+		case *Comm:
+			if v != nil && obj == "" {
+				obj = v.Name()
+			}
+		case *Win:
+			if v != nil && obj == "" {
+				obj = "win " + v.UniqueID()
+			}
+		}
+	}
+	return peer, tag, bytes, obj
+}
+
+// traceEdge records a happens-before edge on the destination rank's track.
+// Callers must have checked w.Tracer != nil.
+func (w *World) traceEdge(kind string, from, to *Rank, fromT, toT sim.Time, tag, bytes int, flow uint64, wait bool) {
+	w.Tracer.Edge(kind, from.probes.Name(), to.probes.Name(), to.NodeName(), fromT, toT, tag, bytes, flow, wait)
+}

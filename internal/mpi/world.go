@@ -6,6 +6,7 @@ import (
 	"pperf/internal/cluster"
 	"pperf/internal/probe"
 	"pperf/internal/sim"
+	"pperf/internal/trace"
 )
 
 // Program is the body of a simulated MPI application process.
@@ -63,6 +64,11 @@ type World struct {
 	// tool daemon, adding overhead to the spawn operation itself. When set,
 	// its return value is charged to the spawning root.
 	SpawnInterceptor func(parent *Rank, maxprocs int) sim.Duration
+
+	// Tracer, when non-nil, receives every MPI call span, compute interval,
+	// and happens-before edge the runtime generates. Nil (the default) costs
+	// one pointer check per hook site and allocates nothing.
+	Tracer *trace.Tracer
 
 	programs  map[string]Program
 	hooks     []*Hooks
@@ -303,6 +309,9 @@ func (sp *syncPoint) wait(r *Rank, what string) {
 	if sp.n <= 1 {
 		return
 	}
+	if tr := r.w.Tracer; tr != nil {
+		tr.SyncArrive(sp, r.probes.Name())
+	}
 	gen := sp.gen
 	if r.Now() > sp.maxT {
 		sp.maxT = r.Now()
@@ -313,6 +322,9 @@ func (sp *syncPoint) wait(r *Rank, what string) {
 		sp.arrived = 0
 		sp.maxT = 0
 		sp.gen++
+		if tr := r.w.Tracer; tr != nil {
+			tr.SyncRelease(sp, what, r.probes.Name(), release)
+		}
 		sp.cond.Broadcast(release)
 		return
 	}

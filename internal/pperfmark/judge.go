@@ -13,6 +13,7 @@ import (
 	"pperf/internal/mpi"
 	"pperf/internal/resource"
 	"pperf/internal/sim"
+	"pperf/internal/trace"
 )
 
 // RunOptions configure a judged suite run.
@@ -36,6 +37,9 @@ type RunOptions struct {
 	// Faults arms a fault-injection plan on the session (nil = healthy run,
 	// byte-identical to a build without fault support).
 	Faults *faults.Plan
+	// Trace arms the event-tracing subsystem (nil = no tracing, runs are
+	// byte-identical to a build without trace support).
+	Trace *trace.Config
 }
 
 // ScaledPCConfig is the Performance Consultant configuration used for the
@@ -70,6 +74,8 @@ type Result struct {
 	Coverage float64
 	// FaultLog lists the injected events that fired (empty without a plan).
 	FaultLog []string
+	// Timeline is the merged trace timeline (nil unless RunOptions.Trace).
+	Timeline *trace.Timeline
 	// Unsupported is set when the implementation cannot run the program at
 	// all (spawn on MPICH/MPICH2), mirroring the paper's restrictions.
 	Unsupported error
@@ -116,6 +122,7 @@ func Run(name string, opt RunOptions) (*Result, error) {
 		Daemon:      &dcfg,
 		BinWidth:    50 * sim.Millisecond,
 		Faults:      opt.Faults,
+		Trace:       opt.Trace,
 	})
 	if err != nil {
 		return nil, err
@@ -191,6 +198,7 @@ func Run(name string, opt RunOptions) (*Result, error) {
 	if s.Injector != nil {
 		res.FaultLog = s.Injector.Log()
 	}
+	res.Timeline = s.FE.Timeline()
 	return res, nil
 }
 

@@ -129,6 +129,12 @@ type Process struct {
 	// function executes in this process (function resource discovery).
 	OnFirstCall func(f *Function)
 
+	// OnFire, if non-nil, is invoked after an instrumentation point runs its
+	// handlers: fn is the function, w the point, n the handler count, t the
+	// process-local time. The tracing subsystem uses it to record probe
+	// firings without the probe layer depending on the trace package.
+	OnFire func(fn string, w Where, n int, t sim.Time)
+
 	seen map[string]bool
 }
 
@@ -248,6 +254,9 @@ func (p *Process) fire(f *Function, w Where, args []any) {
 	}
 	if p.PerProbeCost > 0 {
 		p.clock.AddOverhead(sim.Duration(len(list)) * p.PerProbeCost)
+	}
+	if p.OnFire != nil {
+		p.OnFire(f.Name, w, len(list), p.clock.Now())
 	}
 }
 

@@ -1,0 +1,224 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pperf/internal/sim"
+)
+
+// CriticalPath is the result of walking the merged timeline's
+// happens-before edges backwards from the last event: an attribution of
+// the end-to-end virtual runtime to the longest blocking chain, reported
+// per function and per resource so it can be cross-checked against the
+// Performance Consultant's diagnosis.
+type CriticalPath struct {
+	// Total is the walked virtual time (the global end of the trace); the
+	// attributions below sum to exactly this.
+	Total sim.Time
+	// ByFunc charges time to MPI function names, "compute"/"system",
+	// "(network)" for message transit on followed edges, and "(app)" for
+	// untraced gaps.
+	ByFunc map[string]sim.Time
+	// ByResource charges the same time to the process it was spent on
+	// ("(network)" for transit).
+	ByResource map[string]sim.Time
+	// Steps is the number of walk steps taken; Truncated reports the
+	// safety cap fired (never in practice — edges strictly reduce time).
+	Steps     int
+	Truncated bool
+}
+
+// walk state: the per-proc depth-0 span and incoming wait-edge lists.
+type procTrack struct {
+	spans []Span // depth-0 MPI + compute, disjoint, sorted by Start
+	edges []Span // incoming wait edges, sorted by End then Seq
+}
+
+const maxWalkSteps = 2_000_000
+
+// Analyze walks the timeline's critical path. It returns a zero-total
+// result for an empty timeline.
+func Analyze(tl *Timeline) *CriticalPath {
+	cp := &CriticalPath{
+		ByFunc:     make(map[string]sim.Time),
+		ByResource: make(map[string]sim.Time),
+	}
+	tracks := make(map[string]*procTrack)
+	var endProc string
+	var endT sim.Time
+	var endSeq uint64
+	for _, p := range tl.Procs() {
+		if isToolTrack(p) {
+			continue // tool activity is not on the application's path
+		}
+		pt := &procTrack{}
+		for _, s := range tl.ProcSpans(p) {
+			switch s.Kind {
+			case MPISpan, ComputeSpan:
+				if s.Depth != 0 {
+					continue
+				}
+				pt.spans = append(pt.spans, s)
+				if s.End > endT || (s.End == endT && s.Seq < endSeq) || endProc == "" {
+					endProc, endT, endSeq = p, s.End, s.Seq
+				}
+			case EdgeEvent:
+				if s.Wait {
+					pt.edges = append(pt.edges, s)
+				}
+			}
+		}
+		sort.Slice(pt.spans, func(i, j int) bool { return pt.spans[i].Start < pt.spans[j].Start })
+		sort.Slice(pt.edges, func(i, j int) bool {
+			if pt.edges[i].End != pt.edges[j].End {
+				return pt.edges[i].End < pt.edges[j].End
+			}
+			return pt.edges[i].Seq < pt.edges[j].Seq
+		})
+		tracks[p] = pt
+	}
+	if endProc == "" {
+		return cp
+	}
+
+	cp.Total = endT
+	charge := func(fn, proc string, d sim.Time) {
+		if d > 0 {
+			cp.ByFunc[fn] += d
+			cp.ByResource[proc] += d
+		}
+	}
+
+	proc, t := endProc, endT
+	for t > 0 {
+		cp.Steps++
+		if cp.Steps > maxWalkSteps {
+			cp.Truncated = true
+			break
+		}
+		pt := tracks[proc]
+		var s *Span
+		if pt != nil {
+			// Latest depth-0 span starting strictly before t.
+			i := sort.Search(len(pt.spans), func(i int) bool { return pt.spans[i].Start >= t })
+			if i > 0 {
+				s = &pt.spans[i-1]
+			}
+		}
+		if s == nil {
+			// Before the proc's first traced activity: follow a spawn edge
+			// back to the parent if one exists, else the remainder is
+			// untraced program time.
+			if pt != nil {
+				for i := range pt.edges {
+					e := &pt.edges[i]
+					if e.Name == "spawn" && e.End <= t {
+						charge("(app)", proc, t-e.End)
+						proc, t = e.Peer, e.Start
+						goto next
+					}
+				}
+			}
+			charge("(app)", proc, t)
+			t = 0
+		next:
+			continue
+		}
+		if s.End < t {
+			// Gap between traced spans: application time.
+			charge("(app)", proc, t-s.End)
+			t = s.End
+			continue
+		}
+		if s.Kind == MPISpan {
+			// Latest incoming wait edge landing inside this span at or
+			// before t: the call blocked until then, so the cause lives on
+			// the peer.
+			i := sort.Search(len(pt.edges), func(i int) bool { return pt.edges[i].End > t })
+			var e *Span
+			for i--; i >= 0; i-- {
+				if pt.edges[i].End > s.Start {
+					e = &pt.edges[i]
+					break
+				}
+			}
+			if e != nil && e.Start <= e.End && (e.End < t || e.Start < t || e.Peer != proc) {
+				charge(s.Name, proc, t-e.End)
+				charge("(network)", "(network)", e.End-e.Start)
+				proc, t = e.Peer, e.Start
+				continue
+			}
+		}
+		charge(s.Name, proc, t-s.Start)
+		t = s.Start
+	}
+	return cp
+}
+
+// attribution is one sorted row for rendering.
+type attribution struct {
+	name string
+	d    sim.Time
+}
+
+func sorted(m map[string]sim.Time) []attribution {
+	out := make([]attribution, 0, len(m))
+	for n, d := range m {
+		out = append(out, attribution{n, d})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].d != out[j].d {
+			return out[i].d > out[j].d
+		}
+		return out[i].name < out[j].name
+	})
+	return out
+}
+
+// Dominant returns the MPI function (or compute state) carrying the
+// largest share of the path, skipping the "(app)"/"(network)" buckets.
+func (cp *CriticalPath) Dominant() (string, sim.Time) {
+	for _, a := range sorted(cp.ByFunc) {
+		if a.name == "(app)" || a.name == "(network)" {
+			continue
+		}
+		return a.name, a.d
+	}
+	return "", 0
+}
+
+// DominantResource returns the process carrying the largest share.
+func (cp *CriticalPath) DominantResource() (string, sim.Time) {
+	for _, a := range sorted(cp.ByResource) {
+		if a.name == "(network)" {
+			continue
+		}
+		return a.name, a.d
+	}
+	return "", 0
+}
+
+// Render formats the attribution as the text report printed by
+// `pperf -critical-path`.
+func (cp *CriticalPath) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Critical path: %v end-to-end virtual time (%d steps)\n", cp.Total, cp.Steps)
+	if cp.Truncated {
+		b.WriteString("  [walk truncated at step cap]\n")
+	}
+	section := func(title string, m map[string]sim.Time) {
+		fmt.Fprintf(&b, "  by %s:\n", title)
+		for _, a := range sorted(m) {
+			pct := 0.0
+			if cp.Total > 0 {
+				pct = 100 * float64(a.d) / float64(cp.Total)
+			}
+			fmt.Fprintf(&b, "    %-24s %10v %5.1f%%\n", a.name, a.d, pct)
+		}
+	}
+	section("function", cp.ByFunc)
+	section("resource", cp.ByResource)
+	return b.String()
+}

@@ -1,0 +1,66 @@
+package trace
+
+// Recorder is a fixed-capacity ring buffer of spans for one track. When the
+// track outruns its drains the oldest spans are evicted and counted, so a
+// merged timeline can report exactly how much history was lost instead of
+// silently rendering a partial trace.
+//
+// The simulation engine runs exactly one process at a time, and daemons
+// drain recorders from engine context too, so Recorder needs no locking.
+type Recorder struct {
+	proc    string
+	node    string
+	buf     []Span
+	start   int // index of oldest span
+	n       int // live spans
+	dropped int64
+}
+
+// NewRecorder returns a recorder for one track with the given capacity
+// (DefaultRingCapacity if cap <= 0).
+func NewRecorder(proc, node string, capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultRingCapacity
+	}
+	return &Recorder{proc: proc, node: node, buf: make([]Span, capacity)}
+}
+
+// Proc returns the track name.
+func (r *Recorder) Proc() string { return r.proc }
+
+// Node returns the track's cluster node.
+func (r *Recorder) Node() string { return r.node }
+
+// Record appends a span, evicting the oldest if the ring is full.
+func (r *Recorder) Record(s Span) {
+	s.Proc = r.proc
+	s.Node = r.node
+	if r.n == len(r.buf) {
+		r.start = (r.start + 1) % len(r.buf)
+		r.n--
+		r.dropped++
+	}
+	r.buf[(r.start+r.n)%len(r.buf)] = s
+	r.n++
+}
+
+// Len returns the number of undrained spans.
+func (r *Recorder) Len() int { return r.n }
+
+// Dropped returns the cumulative number of evicted spans.
+func (r *Recorder) Dropped() int64 { return r.dropped }
+
+// Drain removes and returns all buffered spans in record order. It returns
+// nil when the ring is empty so callers can skip empty shards cheaply.
+func (r *Recorder) Drain() []Span {
+	if r.n == 0 {
+		return nil
+	}
+	out := make([]Span, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.buf[(r.start+i)%len(r.buf)]
+	}
+	r.start = 0
+	r.n = 0
+	return out
+}
