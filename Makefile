@@ -17,7 +17,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/frontend ./internal/daemon ./internal/faults ./internal/trace
+	$(GO) test -race ./internal/frontend ./internal/daemon ./internal/faults ./internal/trace ./internal/core
 
 verify: build vet test race
 

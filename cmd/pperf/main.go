@@ -137,8 +137,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "pperf:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("\nTrace written to %s (%s format, %d shards, %d spans dropped)\n",
-			*traceOut, *traceFmt, res.Timeline.Shards(), res.Timeline.Dropped())
+		fmt.Printf("\nTrace written to %s (%s format, %d shards; spans lost: %d ring-evicted, %d outbox-evicted, %d undelivered)\n",
+			*traceOut, *traceFmt, res.Timeline.Shards(),
+			res.Timeline.Dropped(), res.Timeline.OutboxLost(), res.Timeline.Undelivered())
 	}
 	if *critPath {
 		cp := trace.Analyze(res.Timeline)

@@ -223,13 +223,25 @@ func (s *Session) armFaults(plan *faults.Plan) {
 				d.DelayAttachUntil(s.Eng.Now().Add(dur))
 			}
 		},
-		DropTransport: func(node string, n int) {
+		DropTransport: func(node string, n int, ch string) {
+			ctl := ch == "" || ch == faults.ChanCtl || ch == faults.ChanBoth
+			bulk := ch == faults.ChanBulk || ch == faults.ChanBoth
 			if i, ok := nodeIdx[node]; ok && i < len(s.transports) {
-				s.transports[i].InjectFailures(n)
+				if ctl {
+					s.transports[i].InjectFailures(n)
+				}
+				if bulk {
+					s.transports[i].InjectBulkFailures(n)
+				}
 				return
 			}
 			if ft := s.flaky[node]; ft != nil {
-				ft.InjectFailures(n)
+				if ctl {
+					ft.InjectFailures(n)
+				}
+				if bulk {
+					ft.InjectBulkFailures(n)
+				}
 			}
 		},
 	})
@@ -297,13 +309,24 @@ func (s *Session) RunFor(d sim.Duration) error {
 }
 
 // flushTrace ships spans recorded after each daemon's last sampling tick
-// (the end-of-run flush). A no-op when tracing is not armed.
+// (the end-of-run flush), then folds each daemon's undelivered-span counts
+// into the timeline so exporters can flag an incomplete trace. A no-op when
+// tracing is not armed.
 func (s *Session) flushTrace() {
 	if s.Tracer == nil {
 		return
 	}
 	for _, d := range s.Daemons {
 		d.FlushTrace()
+	}
+	tl := s.FE.Timeline()
+	if tl == nil {
+		return
+	}
+	for _, d := range s.Daemons {
+		for proc, n := range d.UndeliveredSpans() {
+			tl.NoteUndelivered(proc, n)
+		}
 	}
 }
 

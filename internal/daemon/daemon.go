@@ -42,6 +42,13 @@ type Daemon struct {
 	attachUntil sim.Time
 	outbox      []outMsg
 	dropped     int64
+
+	// Bulk trace-streaming state (see outbox.go): shards waiting for the
+	// bulk channel to recover, plus the span-level loss accounting for
+	// queue eviction and end-of-run stranding.
+	bulkQ       []trace.Shard
+	lostSpans   map[string]int64
+	undelivered map[string]int64
 }
 
 type enableReq struct {
@@ -96,7 +103,15 @@ func New(eng *sim.Engine, node int, nodeName string, lib *mdl.Library, tr Transp
 
 // EnableTracing arms trace-shard streaming: the daemon drains tr's span
 // recorders for its node on every tick and ships them to the front end.
-func (d *Daemon) EnableTracing(tr *trace.Tracer) { d.tracer = tr }
+// When the transport has a dedicated bulk channel, the daemon also
+// registers the tracer's fill hook so recorders reaching the watermark are
+// drained and shipped immediately instead of waiting for the next tick.
+func (d *Daemon) EnableTracing(tr *trace.Tracer) {
+	d.tracer = tr
+	if _, ok := d.tr.(BulkSink); ok {
+		tr.SetFillHook(d.nodeName, d.shipRecorder)
+	}
+}
 
 // Name returns the daemon's identity.
 func (d *Daemon) Name() string { return d.name }
@@ -446,6 +461,7 @@ func (d *Daemon) tick() {
 	}
 	if d.tracer != nil {
 		d.tracer.DaemonSample(d.name, d.nodeName, d.eng.Now(), n)
+		d.flushBulk()
 		d.flushTraceShards()
 	}
 }

@@ -1,0 +1,272 @@
+package daemon
+
+// Tests for the trace-loss accounting of the resilience layer: spans evicted
+// from the bounded report outbox (legacy TraceSink path) or the bulk queue
+// must surface in the OutboxLost counter shards carry to the timeline, spans
+// stranded by a permanently-down transport must surface as undelivered, and
+// replay must preserve delivery order across interleaved samples, updates and
+// shards.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"pperf/internal/mdl"
+	"pperf/internal/sim"
+	"pperf/internal/trace"
+)
+
+var errSinkDown = errors.New("sink down")
+
+// ctlSink is a Transport+TraceSink with a switchable outage that records
+// every delivery in arrival order — the legacy shared-path transport.
+type ctlSink struct {
+	down   bool
+	events []string
+	shards []trace.Shard
+}
+
+func (s *ctlSink) Samples(batch []Sample) error {
+	if s.down {
+		return errSinkDown
+	}
+	s.events = append(s.events, "samples")
+	return nil
+}
+
+func (s *ctlSink) Update(u Update) error {
+	if s.down {
+		return errSinkDown
+	}
+	s.events = append(s.events, fmt.Sprintf("update:%d", u.Kind))
+	return nil
+}
+
+func (s *ctlSink) TraceShard(sh trace.Shard) error {
+	if s.down {
+		return errSinkDown
+	}
+	s.events = append(s.events, fmt.Sprintf("shard:%d", len(sh.Spans)))
+	s.shards = append(s.shards, sh)
+	return nil
+}
+
+// bulkSink adds a BulkSink channel with its own outage switch, mirroring the
+// two-channel TCP transport.
+type bulkSink struct {
+	ctlSink
+	bulkDown   bool
+	bulkShards []trace.Shard
+}
+
+func (s *bulkSink) BulkShard(sh trace.Shard) error {
+	if s.bulkDown {
+		return errSinkDown
+	}
+	s.bulkShards = append(s.bulkShards, sh)
+	return nil
+}
+
+func mkShard(n int) trace.Shard {
+	return trace.Shard{Proc: "p{0}", Node: "node0", Spans: make([]trace.Span, n)}
+}
+
+func TestOutboxEvictionCountsShardSpans(t *testing.T) {
+	eng := sim.NewEngine(1)
+	sink := &ctlSink{down: true}
+	cfg := DefaultConfig()
+	cfg.OutboxLimit = 2
+	d := New(eng, 0, "node0", mdl.StdLib(), sink, cfg)
+	d.EnableTracing(trace.New(&trace.Config{FlushWatermark: -1}))
+
+	d.sendShard(mkShard(3))
+	d.sendShard(mkShard(4))
+	d.sendShard(mkShard(5)) // evicts the 3-span shard
+
+	if _, dropped := d.OutboxDepth(); dropped != 1 {
+		t.Errorf("dropped reports = %d, want 1", dropped)
+	}
+	if got := d.LostSpans()["p{0}"]; got != 3 {
+		t.Errorf("lost spans = %d, want 3 (the evicted shard's)", got)
+	}
+
+	sink.down = false
+	d.flushOutbox()
+	if len(sink.shards) != 2 {
+		t.Fatalf("delivered %d shards, want 2", len(sink.shards))
+	}
+	tl := trace.NewTimeline()
+	for _, sh := range sink.shards {
+		if sh.OutboxLost != 3 {
+			t.Errorf("shard OutboxLost = %d, want 3", sh.OutboxLost)
+		}
+		tl.Ingest(sh)
+	}
+	if tl.OutboxLost() != 3 || tl.Lost() != 3 {
+		t.Errorf("timeline OutboxLost = %d, Lost = %d, want 3, 3", tl.OutboxLost(), tl.Lost())
+	}
+}
+
+func TestBulkQueueEvictionCountsSpans(t *testing.T) {
+	eng := sim.NewEngine(1)
+	sink := &bulkSink{bulkDown: true}
+	cfg := DefaultConfig()
+	cfg.BulkQueueLimit = 2
+	d := New(eng, 0, "node0", mdl.StdLib(), sink, cfg)
+	d.EnableTracing(trace.New(&trace.Config{FlushWatermark: -1}))
+
+	d.sendShard(mkShard(3))
+	d.sendShard(mkShard(4))
+	d.sendShard(mkShard(5)) // bulk queue bound evicts the 3-span shard
+	if d.BulkDepth() != 2 {
+		t.Errorf("bulk depth = %d, want 2", d.BulkDepth())
+	}
+	if got := d.LostSpans()["p{0}"]; got != 3 {
+		t.Errorf("lost spans = %d, want 3", got)
+	}
+
+	sink.bulkDown = false
+	d.flushBulk()
+	if d.BulkDepth() != 0 {
+		t.Errorf("bulk depth after flush = %d, want 0", d.BulkDepth())
+	}
+	if len(sink.bulkShards) != 2 {
+		t.Fatalf("delivered %d bulk shards, want 2", len(sink.bulkShards))
+	}
+	for _, sh := range sink.bulkShards {
+		if sh.OutboxLost != 3 {
+			t.Errorf("replayed shard OutboxLost = %d, want 3", sh.OutboxLost)
+		}
+	}
+	// Bulk-channel trouble must leave no trace of itself in the timeline:
+	// no transport events on the daemon's own track, and nothing in the
+	// report outbox.
+	if rec := d.tracer.Recorder(NameFor("node0")); rec != nil && rec.Len() > 0 {
+		t.Errorf("bulk path recorded %d daemon-track spans; timeline must not depend on shipping", rec.Len())
+	}
+	if queued, _ := d.OutboxDepth(); queued != 0 {
+		t.Errorf("shards leaked into the report outbox: depth %d", queued)
+	}
+}
+
+func TestFlushTraceCountsUndeliveredSpans(t *testing.T) {
+	eng := sim.NewEngine(1)
+	sink := &bulkSink{ctlSink: ctlSink{down: true}, bulkDown: true}
+	d := New(eng, 0, "node0", mdl.StdLib(), sink, DefaultConfig())
+	tr := trace.New(&trace.Config{FlushWatermark: -1})
+	d.EnableTracing(tr)
+
+	for i := 0; i < 5; i++ {
+		tr.Mark("p{0}", "node0", "m", eng.Now())
+	}
+	d.FlushTrace()
+
+	if got := d.UndeliveredSpans()["p{0}"]; got != 5 {
+		t.Errorf("undelivered spans = %d, want 5", got)
+	}
+	if d.BulkDepth() != 0 {
+		t.Errorf("stranded shards still queued: depth %d", d.BulkDepth())
+	}
+	// A second flush with nothing new must not double-count.
+	d.FlushTrace()
+	if got := d.UndeliveredSpans()["p{0}"]; got != 5 {
+		t.Errorf("undelivered spans after re-flush = %d, want 5", got)
+	}
+
+	// The timeline's idempotent note keeps the per-track maximum.
+	tl := trace.NewTimeline()
+	for proc, n := range d.UndeliveredSpans() {
+		tl.NoteUndelivered(proc, n)
+		tl.NoteUndelivered(proc, n)
+	}
+	if tl.Undelivered() != 5 {
+		t.Errorf("timeline undelivered = %d, want 5", tl.Undelivered())
+	}
+}
+
+func TestOutboxReplayPreservesInterleavedOrder(t *testing.T) {
+	eng := sim.NewEngine(1)
+	sink := &ctlSink{down: true}
+	cfg := DefaultConfig()
+	cfg.OutboxLimit = 4
+	d := New(eng, 0, "node0", mdl.StdLib(), sink, cfg)
+	d.EnableTracing(trace.New(&trace.Config{FlushWatermark: -1}))
+
+	d.sendShard(mkShard(2)) // evicted below: its 2 spans must be accounted
+	d.sendUpdate(Update{Kind: UpAddResource, Path: "/Machine/node0/p{0}"})
+	d.sendSamples([]Sample{{Metric: "m"}})
+	d.sendShard(mkShard(3))
+	d.sendUpdate(Update{Kind: UpHeartbeat}) // 5th report: evicts the first
+
+	if _, dropped := d.OutboxDepth(); dropped != 1 {
+		t.Errorf("dropped reports = %d, want 1", dropped)
+	}
+	if got := d.LostSpans()["p{0}"]; got != 2 {
+		t.Errorf("lost spans = %d, want 2", got)
+	}
+
+	sink.down = false
+	d.flushOutbox()
+	want := []string{
+		fmt.Sprintf("update:%d", UpAddResource),
+		"samples",
+		"shard:3",
+		fmt.Sprintf("update:%d", UpHeartbeat),
+	}
+	if len(sink.events) != len(want) {
+		t.Fatalf("delivered %v, want %v", sink.events, want)
+	}
+	for i := range want {
+		if sink.events[i] != want[i] {
+			t.Fatalf("delivery order %v, want %v", sink.events, want)
+		}
+	}
+	if sink.shards[0].OutboxLost != 2 {
+		t.Errorf("surviving shard OutboxLost = %d, want 2", sink.shards[0].OutboxLost)
+	}
+	if queued, _ := d.OutboxDepth(); queued != 0 {
+		t.Errorf("outbox not drained: %d left", queued)
+	}
+}
+
+func TestFillHookShipsAtWatermark(t *testing.T) {
+	eng := sim.NewEngine(1)
+	sink := &bulkSink{}
+	d := New(eng, 0, "node0", mdl.StdLib(), sink, DefaultConfig())
+	tr := trace.New(&trace.Config{RingCapacity: 8, FlushWatermark: 4})
+	d.EnableTracing(tr)
+
+	for i := 0; i < 3; i++ {
+		tr.Mark("p{0}", "node0", "m", eng.Now())
+	}
+	if len(sink.bulkShards) != 0 {
+		t.Fatalf("shipped below the watermark: %d shards", len(sink.bulkShards))
+	}
+	tr.Mark("p{0}", "node0", "m", eng.Now()) // 4th span reaches the watermark
+	if len(sink.bulkShards) != 1 || len(sink.bulkShards[0].Spans) != 4 {
+		t.Fatalf("want one 4-span shard at the watermark, got %+v", sink.bulkShards)
+	}
+	if rec := tr.Recorder("p{0}"); rec.Len() != 0 {
+		t.Errorf("recorder not drained by eager ship: %d left", rec.Len())
+	}
+}
+
+func TestFillHookNotInstalledWithoutBulkSink(t *testing.T) {
+	eng := sim.NewEngine(1)
+	sink := &ctlSink{}
+	d := New(eng, 0, "node0", mdl.StdLib(), sink, DefaultConfig())
+	tr := trace.New(&trace.Config{RingCapacity: 8, FlushWatermark: 2})
+	d.EnableTracing(tr)
+
+	for i := 0; i < 6; i++ {
+		tr.Mark("p{0}", "node0", "m", eng.Now())
+	}
+	if len(sink.shards) != 0 {
+		t.Errorf("TraceSink-only transport shipped eagerly: %d shards", len(sink.shards))
+	}
+	d.flushTraceShards() // the tick-coupled path still drains everything
+	if len(sink.shards) != 1 || len(sink.shards[0].Spans) != 6 {
+		t.Errorf("tick flush delivered %+v, want one 6-span shard", sink.shards)
+	}
+}

@@ -78,6 +78,17 @@ type TraceSink interface {
 	TraceShard(sh trace.Shard) error
 }
 
+// BulkSink is the optional Transport extension for the dedicated bulk
+// trace-streaming channel: shards sent through BulkShard move on their own
+// stream (a second TCP connection with its own retry/backoff and dedupe for
+// the wire transport, a direct call in process), so bulk trace volume never
+// sits on the sampling path. When a transport implements BulkSink the
+// daemon queues shards in a separate bounded bulk queue instead of the
+// report outbox; TraceSink-only transports keep the legacy shared path.
+type BulkSink interface {
+	BulkShard(sh trace.Shard) error
+}
+
 // SpawnMethod selects how the tool supports MPI_Comm_spawn (§4.2.2).
 type SpawnMethod int
 
@@ -119,10 +130,19 @@ type Config struct {
 	// transport is down; beyond it the oldest reports are dropped (counted
 	// in Dropped). Zero means DefaultOutboxLimit.
 	OutboxLimit int
+	// BulkQueueLimit bounds the number of trace shards buffered while the
+	// bulk channel is down; beyond it the oldest shards are evicted and
+	// their span counts folded into the per-track OutboxLost counter. Zero
+	// means DefaultBulkQueueLimit.
+	BulkQueueLimit int
 }
 
 // DefaultOutboxLimit is the outbox bound used when Config.OutboxLimit is 0.
 const DefaultOutboxLimit = 4096
+
+// DefaultBulkQueueLimit is the bulk-queue bound used when
+// Config.BulkQueueLimit is 0.
+const DefaultBulkQueueLimit = 1024
 
 // DefaultConfig returns the standard daemon configuration.
 func DefaultConfig() Config {

@@ -29,8 +29,10 @@ type Hooks struct {
 	SetLink func(a, b string, lat, bw float64, downFor sim.Duration)
 	// DelayAttach postpones the node's daemon adopting processes.
 	DelayAttach func(node string, d sim.Duration)
-	// DropTransport makes the node's daemon transport fail its next n sends.
-	DropTransport func(node string, n int)
+	// DropTransport makes the node's daemon transport fail its next n
+	// sends. ch selects the channel: ChanCtl (samples/updates, the
+	// default), ChanBulk (trace shards), or ChanBoth.
+	DropTransport func(node string, n int, ch string)
 }
 
 // Injector is an armed plan: it has scheduled every fault on the engine and
@@ -129,35 +131,60 @@ func (in *Injector) fire(now sim.Time, f Fault, plan *Plan, eng *sim.Engine, h H
 			in.note(now, "drop-transport %s: no hook, skipped", f.Node)
 			return
 		}
-		h.DropTransport(f.Node, f.N)
-		in.note(now, "drop-transport %s n=%d", f.Node, f.N)
+		h.DropTransport(f.Node, f.N, f.Chan)
+		if f.Chan != "" {
+			in.note(now, "drop-transport %s n=%d chan=%s", f.Node, f.N, f.Chan)
+		} else {
+			in.note(now, "drop-transport %s n=%d", f.Node, f.N)
+		}
 	}
 }
 
 // FlakyTransport wraps a daemon.Transport so the injector can fail sends on
-// the in-process path (the TCP transport has its own InjectFailures). While
-// failures remain, every send errors — the daemon's outbox absorbs the
-// reports and replays them once the flakiness is spent.
+// the in-process path (the TCP transport has its own InjectFailures /
+// InjectBulkFailures). Control and bulk failures are counted separately,
+// mirroring the wire transport's two channels, so a plan can sever the
+// trace stream while samples keep flowing — or vice versa. While failures
+// remain on a channel, every send on it errors; the daemon's outbox (or
+// bulk queue) absorbs the reports and replays them once the flakiness is
+// spent.
 type FlakyTransport struct {
 	Inner daemon.Transport
 
-	mu      sync.Mutex
-	pending int
-	dropped int64
+	mu          sync.Mutex
+	pending     int
+	pendingBulk int
+	dropped     int64
+	droppedBulk int64
 }
 
-// InjectFailures makes the next n sends fail.
+// InjectFailures makes the next n control-channel sends fail.
 func (ft *FlakyTransport) InjectFailures(n int) {
 	ft.mu.Lock()
 	ft.pending += n
 	ft.mu.Unlock()
 }
 
-// Dropped returns how many sends were failed so far.
+// InjectBulkFailures makes the next n bulk-channel (trace shard) sends
+// fail.
+func (ft *FlakyTransport) InjectBulkFailures(n int) {
+	ft.mu.Lock()
+	ft.pendingBulk += n
+	ft.mu.Unlock()
+}
+
+// Dropped returns how many control-channel sends were failed so far.
 func (ft *FlakyTransport) Dropped() int64 {
 	ft.mu.Lock()
 	defer ft.mu.Unlock()
 	return ft.dropped
+}
+
+// DroppedBulk returns how many bulk-channel sends were failed so far.
+func (ft *FlakyTransport) DroppedBulk() int64 {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	return ft.droppedBulk
 }
 
 func (ft *FlakyTransport) fail() bool {
@@ -168,6 +195,17 @@ func (ft *FlakyTransport) fail() bool {
 	}
 	ft.pending--
 	ft.dropped++
+	return true
+}
+
+func (ft *FlakyTransport) failBulk() bool {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	if ft.pendingBulk <= 0 {
+		return false
+	}
+	ft.pendingBulk--
+	ft.droppedBulk++
 	return true
 }
 
@@ -188,7 +226,8 @@ func (ft *FlakyTransport) Update(u daemon.Update) error {
 }
 
 // TraceShard implements daemon.TraceSink when the wrapped transport does;
-// injected failures hit shards exactly like samples and updates.
+// injected control failures hit these shards exactly like samples and
+// updates (the legacy shared-path behaviour).
 func (ft *FlakyTransport) TraceShard(sh trace.Shard) error {
 	ts, ok := ft.Inner.(daemon.TraceSink)
 	if !ok {
@@ -198,4 +237,17 @@ func (ft *FlakyTransport) TraceShard(sh trace.Shard) error {
 		return fmt.Errorf("faults: injected transport failure")
 	}
 	return ts.TraceShard(sh)
+}
+
+// BulkShard implements daemon.BulkSink when the wrapped transport does;
+// injected bulk failures hit only this channel.
+func (ft *FlakyTransport) BulkShard(sh trace.Shard) error {
+	bs, ok := ft.Inner.(daemon.BulkSink)
+	if !ok {
+		return nil
+	}
+	if ft.failBulk() {
+		return fmt.Errorf("faults: injected bulk transport failure")
+	}
+	return bs.BulkShard(sh)
 }

@@ -61,6 +61,16 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
+// Transport channels a DropTransport fault can target. The empty string is
+// equivalent to ChanCtl, keeping pre-bulk-channel plan texts meaning what
+// they always meant (shards moved to their own channel, so failing the
+// control channel exercises exactly the sampling path those plans tested).
+const (
+	ChanCtl  = "ctl"
+	ChanBulk = "bulk"
+	ChanBoth = "both"
+)
+
 // Fault is one scheduled fault.
 type Fault struct {
 	At   sim.Duration // virtual-time offset from the start of the run
@@ -71,6 +81,7 @@ type Fault struct {
 	Lat  float64      // latency multiplier (DegradeLink; 0 = unchanged)
 	BW   float64      // bandwidth multiplier (DegradeLink; 0 = unchanged)
 	N    int          // failure count (DropTransport)
+	Chan string       // target channel (DropTransport): ctl | bulk | both ("" = ctl)
 }
 
 // Plan is a full fault schedule plus the resilience knobs it implies.
@@ -108,10 +119,13 @@ func New() *Plan {
 //	t=1s sever-link node0:node1 for=1s;
 //	t=1s degrade-link node0:node1 lat=10 bw=0.1;
 //	t=0s delay-attach node2 for=100ms;
-//	t=1.5s drop-transport node0 n=3
+//	t=1.5s drop-transport node0 n=3;
+//	t=1.5s drop-transport node0 n=3 chan=bulk
 //
-// A link endpoint pair of "*" targets every link. Whitespace is free;
-// clauses may appear in any order.
+// A link endpoint pair of "*" targets every link. drop-transport's chan=
+// option picks the channel to fail: ctl (samples/updates — the default),
+// bulk (trace shards), or both. Whitespace is free; clauses may appear in
+// any order.
 func Parse(text string) (*Plan, error) {
 	p := New()
 	for _, clause := range strings.Split(text, ";") {
@@ -231,6 +245,12 @@ func (p *Plan) parseClause(clause string) error {
 				return fmt.Errorf("bad n: %w", err)
 			}
 			f.N = v
+		case strings.HasPrefix(opt, "chan="):
+			v := opt[5:]
+			if v != ChanCtl && v != ChanBulk && v != ChanBoth {
+				return fmt.Errorf("bad chan %q: want ctl, bulk or both", v)
+			}
+			f.Chan = v
 		default:
 			return fmt.Errorf("unknown option %q", opt)
 		}
@@ -250,6 +270,9 @@ func (p *Plan) parseClause(clause string) error {
 		if f.N <= 0 {
 			return fmt.Errorf("drop-transport needs n=K > 0")
 		}
+	}
+	if f.Chan != "" && f.Kind != DropTransport {
+		return fmt.Errorf("chan= only applies to drop-transport")
 	}
 
 	p.Faults = append(p.Faults, f)
@@ -294,6 +317,9 @@ func (f Fault) String() string {
 	}
 	if f.N != 0 {
 		fmt.Fprintf(&b, " n=%d", f.N)
+	}
+	if f.Chan != "" {
+		fmt.Fprintf(&b, " chan=%s", f.Chan)
 	}
 	return b.String()
 }

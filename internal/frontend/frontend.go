@@ -106,6 +106,12 @@ func (fe *FrontEnd) TraceShard(sh trace.Shard) error {
 	return nil
 }
 
+// BulkShard implements daemon.BulkSink: the in-process bulk channel is the
+// same direct call as TraceShard — there is no wire to keep samples and
+// shards apart on — but implementing the interface keeps the daemon's
+// shard traffic in its dedicated bulk queue instead of the report outbox.
+func (fe *FrontEnd) BulkShard(sh trace.Shard) error { return fe.TraceShard(sh) }
+
 // Series is the collected data of one enabled metric-focus pair: the
 // aggregated histogram plus per-process histograms.
 type Series struct {
@@ -145,7 +151,11 @@ func (s *Series) Total() float64 { return s.agg.Total() }
 func seriesKey(m string, f resource.Focus) string { return m + "\x00" + f.Key() }
 
 // EnableMetric turns on a metric-focus pair across all daemons, returning
-// its (possibly pre-existing) series.
+// its (possibly pre-existing) series. Enabling is all-or-nothing: if any
+// daemon refuses, the daemons already instrumented are rolled back and the
+// series is unregistered before the error returns, so a failed enable
+// leaves no partially-enabled state behind (no orphaned probes charging
+// overhead, no registered series silently collecting a subset of nodes).
 func (fe *FrontEnd) EnableMetric(metricName string, focus resource.Focus) (*Series, error) {
 	fe.mu.Lock()
 	if s, ok := fe.series[seriesKey(metricName, focus)]; ok {
@@ -162,19 +172,17 @@ func (fe *FrontEnd) EnableMetric(metricName string, focus resource.Focus) (*Seri
 	fe.series[seriesKey(metricName, focus)] = s
 	fe.mu.Unlock()
 
-	n := 0
-	var firstErr error
-	for _, d := range fe.daemons {
-		k, err := d.Enable(metricName, focus)
-		if err != nil && firstErr == nil {
-			firstErr = err
+	for i, d := range fe.daemons {
+		if _, err := d.Enable(metricName, focus); err != nil {
+			for _, prev := range fe.daemons[:i] {
+				prev.Disable(metricName, focus)
+			}
+			fe.mu.Lock()
+			delete(fe.series, seriesKey(metricName, focus))
+			fe.mu.Unlock()
+			return nil, err
 		}
-		n += k
 	}
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	_ = n
 	return s, nil
 }
 

@@ -13,27 +13,43 @@ import (
 	"pperf/internal/trace"
 )
 
-// The TCP transport carries daemon reports to the front end over a real
-// socket with gob encoding — the shape of a deployment where daemons run on
+// The TCP transport carries daemon reports to the front end over real
+// sockets with gob encoding — the shape of a deployment where daemons run on
 // cluster nodes and the front end on the user's workstation. Each message is
 // acknowledged before the daemon proceeds, so delivery order (and therefore
 // front-end state) stays deterministic even though the listener runs on its
 // own goroutine.
 //
-// The transport is built for misbehaving clusters: every message carries the
-// sending daemon's identity and a per-daemon sequence number, each send has
-// a wall-clock deadline, failures trigger bounded exponential backoff with
-// seeded (deterministic) jitter and a reconnect, and the front end dedupes
-// replayed messages by sequence number — so an ack lost to a half-closed
-// socket cannot double-apply a sample batch, and a reconnect resyncs
-// without disturbing determinism.
+// Each daemon holds up to two independent channels to the front end:
+//
+//   - the control channel carries sample batches and resource updates — the
+//     latency-sensitive sampling path;
+//   - the bulk channel (dialed lazily on the first trace shard) carries
+//     trace.Shard traffic, so arbitrarily large trace volume never queues
+//     behind — or delays — a sample batch.
+//
+// Both channels are built for misbehaving clusters: every message carries
+// the sending daemon's identity, its channel, and a per-channel sequence
+// number, each send has a wall-clock deadline, failures trigger bounded
+// exponential backoff with seeded (deterministic) jitter and a reconnect,
+// and the front end dedupes replayed messages per (daemon, channel) — so an
+// ack lost to a half-closed socket cannot double-apply a sample batch or a
+// shard, and a reconnect resyncs without disturbing determinism.
+
+// Channel labels stamped on wire frames. The control channel uses the empty
+// string so pre-bulk-channel captures decode (and dedupe) unchanged.
+const (
+	ctlChannel  = ""
+	bulkChannel = "bulk"
+)
 
 // wireMsg is the single message frame exchanged on the wire.
 type wireMsg struct {
-	// Daemon and Seq identify and order the frame for reconnect dedupe.
-	// Seq is per-daemon and strictly increasing; Seq 0 (legacy senders)
-	// bypasses dedupe.
+	// Daemon, Chan and Seq identify and order the frame for reconnect
+	// dedupe. Seq is per-daemon-per-channel and strictly increasing; Seq 0
+	// (legacy senders) bypasses dedupe.
 	Daemon string
+	Chan   string
 	Seq    uint64
 
 	Samples []daemon.Sample
@@ -54,7 +70,9 @@ type RetryConfig struct {
 	BaseBackoff time.Duration
 	MaxBackoff  time.Duration
 	// Seed drives the jitter RNG; equal seeds give identical backoff
-	// schedules (deterministic retries).
+	// schedules (deterministic retries). The bulk channel derives its own
+	// RNG stream from the same seed, so the two channels' schedules are
+	// independent but both reproducible.
 	Seed uint64
 }
 
@@ -69,7 +87,7 @@ func DefaultRetryConfig() RetryConfig {
 	}
 }
 
-// TransportStats counts the resilience machinery's activity.
+// TransportStats counts one channel's resilience activity.
 type TransportStats struct {
 	Sent       int64 // messages acknowledged
 	Duplicates int64 // (listener side only; unused on the daemon side)
@@ -81,17 +99,22 @@ type TransportStats struct {
 	Backoffs []time.Duration
 }
 
-// Listener accepts daemon connections for a front end.
+// Listener accepts daemon connections for a front end. Control and bulk
+// connections land on the same listening socket; frames declare their
+// channel, and dedupe state is kept per (daemon, channel).
 type Listener struct {
 	fe *FrontEnd
 	ln net.Listener
 	wg sync.WaitGroup
 
-	mu      sync.Mutex
-	closed  bool
-	lastSeq map[string]uint64 // per-daemon high-water mark for dedupe
-	dups    int64
-	acceptE int64 // transient accept errors retried
+	mu         sync.Mutex
+	closed     bool
+	lastSeq    map[string]uint64 // per-(daemon,channel) high-water mark for dedupe
+	dups       int64
+	acceptE    int64 // transient accept errors retried
+	ctlFrames  int64
+	bulkFrames int64
+	ctlShards  int64 // shard frames that arrived on the control channel (should stay 0)
 }
 
 // Listen starts a TCP listener feeding the front end. Use addr "127.0.0.1:0"
@@ -134,6 +157,29 @@ func (l *Listener) TransientAcceptErrors() int64 {
 	return l.acceptE
 }
 
+// CtlFrames returns how many frames arrived on the control channel.
+func (l *Listener) CtlFrames() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ctlFrames
+}
+
+// BulkFrames returns how many frames arrived on the bulk channel.
+func (l *Listener) BulkFrames() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bulkFrames
+}
+
+// CtlShardFrames returns how many trace-shard frames arrived on the control
+// channel — the invariant the bulk channel exists to keep at zero, asserted
+// by tests and benchmarks.
+func (l *Listener) CtlShardFrames() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ctlShards
+}
+
 // acceptLoop accepts daemon connections until the listener closes. A
 // transient Accept error (resource exhaustion, aborted handshake) is retried
 // with a short delay instead of silently killing the loop; only a closed
@@ -173,18 +219,25 @@ func (l *Listener) isClosed() bool {
 }
 
 // seen reports (and records) whether the frame is a replay the front end
-// already applied — the reconnect-resync dedupe.
-func (l *Listener) seen(daemonName string, seq uint64) bool {
+// already applied — the reconnect-resync dedupe, tracked independently per
+// (daemon, channel) since each channel numbers its own frames.
+func (l *Listener) seen(daemonName, ch string, seq uint64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if ch == bulkChannel {
+		l.bulkFrames++
+	} else {
+		l.ctlFrames++
+	}
 	if daemonName == "" || seq == 0 {
 		return false
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if seq <= l.lastSeq[daemonName] {
+	key := daemonName + "\x00" + ch
+	if seq <= l.lastSeq[key] {
 		l.dups++
 		return true
 	}
-	l.lastSeq[daemonName] = seq
+	l.lastSeq[key] = seq
 	return false
 }
 
@@ -197,9 +250,14 @@ func (l *Listener) handle(conn net.Conn) {
 		if err := dec.Decode(&msg); err != nil {
 			return
 		}
+		if msg.Shard != nil && msg.Chan != bulkChannel {
+			l.mu.Lock()
+			l.ctlShards++
+			l.mu.Unlock()
+		}
 		// A frame the daemon re-sent after a lost ack was already applied:
 		// skip the apply, but still acknowledge it.
-		if !l.seen(msg.Daemon, msg.Seq) {
+		if !l.seen(msg.Daemon, msg.Chan, msg.Seq) {
 			if msg.Samples != nil {
 				l.fe.Samples(msg.Samples)
 			}
@@ -219,15 +277,15 @@ func (l *Listener) handle(conn net.Conn) {
 // ErrTransportClosed is returned by sends on a Close()d transport.
 var ErrTransportClosed = errors.New("frontend: transport closed")
 
-// TCPTransport is the daemon-side transport: it gob-encodes each report,
-// waits (with a deadline) for the front end's acknowledgement, and on
-// failure retries with seeded-jitter exponential backoff, redialling as
-// needed. When every attempt fails the error surfaces to the daemon, whose
-// outbox buffers the report for later replay.
-type TCPTransport struct {
+// tcpChannel is one independent acknowledged gob stream to the front end —
+// its own connection, sequence space, backoff RNG, and stats. The control
+// and bulk channels of a TCPTransport are two of these, locked separately
+// so a slow bulk send never blocks a sample send.
+type tcpChannel struct {
 	mu     sync.Mutex
+	label  string
 	addr   string
-	name   string // daemon identity stamped on frames ("" = legacy, no dedupe)
+	name   string
 	cfg    RetryConfig
 	conn   net.Conn
 	enc    *gob.Encoder
@@ -237,11 +295,40 @@ type TCPTransport struct {
 	closed bool
 	stats  TransportStats
 
-	// FaultHook, when set, is consulted before each attempt; a non-nil
-	// return simulates a transport fault for that attempt (the connection is
-	// treated as failed). Used by the fault injector and tests to exercise
-	// the retry path deterministically.
-	FaultHook func(attempt int, msg *wireMsg) error
+	// faultHook, when set, is consulted before each attempt; a non-nil
+	// return simulates a transport fault for that attempt (the connection
+	// is treated as failed).
+	faultHook func(attempt int, msg *wireMsg) error
+}
+
+// bulkSeedSalt derives the bulk channel's jitter stream from the configured
+// seed, keeping the two channels' backoff schedules independent yet each
+// deterministic.
+const bulkSeedSalt = 0x62756c6b // "bulk"
+
+// TCPTransport is the daemon-side transport: it gob-encodes each report,
+// waits (with a deadline) for the front end's acknowledgement, and on
+// failure retries with seeded-jitter exponential backoff, redialling as
+// needed. When every attempt fails the error surfaces to the daemon, whose
+// outbox (control) or bulk queue (trace shards) buffers the report for
+// later replay. Trace shards move on a dedicated bulk connection so the
+// sampling path's latency is independent of trace volume.
+type TCPTransport struct {
+	addr string
+	name string
+	cfg  RetryConfig
+
+	ctl tcpChannel
+
+	bulkMu sync.Mutex // guards lazy creation of bulk
+	bulk   *tcpChannel
+
+	// FaultHook, when set, is consulted before each control-channel
+	// attempt; a non-nil return simulates a transport fault for that
+	// attempt. Used by the fault injector and tests to exercise the retry
+	// path deterministically. BulkFaultHook is its bulk-channel twin.
+	FaultHook     func(attempt int, msg *wireMsg) error
+	BulkFaultHook func(attempt int, msg *wireMsg) error
 }
 
 // DialTransport connects a daemon-side transport to a front-end listener
@@ -252,48 +339,112 @@ func DialTransport(addr string) (*TCPTransport, error) {
 
 // DialTransportRetry connects a daemon-side transport with explicit identity
 // and retry configuration. name is the daemon identity used for reconnect
-// dedupe; empty disables dedupe (every frame applies).
+// dedupe; empty disables dedupe (every frame applies). Only the control
+// channel is dialed here; the bulk channel comes up lazily on the first
+// trace shard.
 func DialTransportRetry(addr, name string, cfg RetryConfig) (*TCPTransport, error) {
 	if cfg.MaxAttempts <= 0 {
 		cfg.MaxAttempts = 1
 	}
-	t := &TCPTransport{addr: addr, name: name, cfg: cfg, rng: sim.NewRNG(cfg.Seed)}
-	if err := t.redialLocked(); err != nil {
+	t := &TCPTransport{addr: addr, name: name, cfg: cfg}
+	t.ctl = tcpChannel{label: ctlChannel, addr: addr, name: name, cfg: cfg, rng: sim.NewRNG(cfg.Seed)}
+	t.ctl.mu.Lock()
+	err := t.ctl.redialLocked()
+	t.ctl.mu.Unlock()
+	if err != nil {
 		return nil, fmt.Errorf("frontend: dial: %w", err)
 	}
 	return t, nil
 }
 
-// Close shuts the connection; subsequent sends fail fast.
-func (t *TCPTransport) Close() error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.closed = true
-	if t.conn == nil {
-		return nil
+// bulkChan returns the bulk channel, creating (and best-effort dialing) it
+// on first use.
+func (t *TCPTransport) bulkChan() *tcpChannel {
+	t.bulkMu.Lock()
+	defer t.bulkMu.Unlock()
+	if t.bulk == nil {
+		t.bulk = &tcpChannel{
+			label: bulkChannel, addr: t.addr, name: t.name, cfg: t.cfg,
+			rng: sim.NewRNG(t.cfg.Seed ^ bulkSeedSalt),
+		}
+		t.bulk.mu.Lock()
+		t.bulk.redialLocked() // a failed dial retries inside send
+		t.bulk.mu.Unlock()
 	}
-	err := t.conn.Close()
-	t.conn = nil
+	return t.bulk
+}
+
+// Close shuts both channels; subsequent sends fail fast.
+func (t *TCPTransport) Close() error {
+	err := t.ctl.close()
+	t.bulkMu.Lock()
+	b := t.bulk
+	t.bulkMu.Unlock()
+	if b != nil {
+		if berr := b.close(); err == nil {
+			err = berr
+		}
+	}
 	return err
 }
 
-// Stats returns a snapshot of the transport's resilience counters.
-func (t *TCPTransport) Stats() TransportStats {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	s := t.stats
-	s.Backoffs = append([]time.Duration(nil), t.stats.Backoffs...)
+func (c *tcpChannel) close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// Stats returns a snapshot of the control channel's resilience counters.
+func (t *TCPTransport) Stats() TransportStats { return t.ctl.snapshot() }
+
+// BulkStats returns a snapshot of the bulk channel's resilience counters
+// (all zero if no shard was ever sent).
+func (t *TCPTransport) BulkStats() TransportStats {
+	t.bulkMu.Lock()
+	b := t.bulk
+	t.bulkMu.Unlock()
+	if b == nil {
+		return TransportStats{}
+	}
+	return b.snapshot()
+}
+
+func (c *tcpChannel) snapshot() TransportStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Backoffs = append([]time.Duration(nil), c.stats.Backoffs...)
 	return s
 }
 
-// InjectFailures makes the next n attempts fail (deterministic fault
-// injection): each failed attempt consumes one count, exercising timeout,
-// backoff and reconnect exactly as a flaky network would.
+// InjectFailures makes the next n control-channel attempts fail
+// (deterministic fault injection): each failed attempt consumes one count,
+// exercising timeout, backoff and reconnect exactly as a flaky network
+// would.
 func (t *TCPTransport) InjectFailures(n int) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.ctl.mu.Lock()
+	defer t.ctl.mu.Unlock()
+	t.FaultHook = countdownHook(n)
+}
+
+// InjectBulkFailures is InjectFailures for the bulk channel: the next n
+// shard attempts fail while control traffic flows untouched.
+func (t *TCPTransport) InjectBulkFailures(n int) {
+	c := t.bulkChan()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t.BulkFaultHook = countdownHook(n)
+}
+
+func countdownHook(n int) func(int, *wireMsg) error {
 	remaining := n
-	t.FaultHook = func(int, *wireMsg) error {
+	return func(int, *wireMsg) error {
 		if remaining <= 0 {
 			return nil
 		}
@@ -304,22 +455,22 @@ func (t *TCPTransport) InjectFailures(n int) {
 
 // redialLocked (re)establishes the connection and fresh gob codecs. A gob
 // stream is stateful, so any failed connection must be fully replaced.
-func (t *TCPTransport) redialLocked() error {
-	if t.conn != nil {
-		t.conn.Close()
-		t.conn = nil
+func (c *tcpChannel) redialLocked() error {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
 	}
-	timeout := t.cfg.MsgTimeout
+	timeout := c.cfg.MsgTimeout
 	if timeout <= 0 {
 		timeout = 2 * time.Second
 	}
-	conn, err := net.DialTimeout("tcp", t.addr, timeout)
+	conn, err := net.DialTimeout("tcp", c.addr, timeout)
 	if err != nil {
 		return err
 	}
-	t.conn = conn
-	t.enc = gob.NewEncoder(conn)
-	t.dec = gob.NewDecoder(conn)
+	c.conn = conn
+	c.enc = gob.NewEncoder(conn)
+	c.dec = gob.NewDecoder(conn)
 	return nil
 }
 
@@ -327,38 +478,38 @@ func (t *TCPTransport) redialLocked() error {
 // exponential growth with seeded jitter in [d/2, d). The schedule is a pure
 // function of the seed and the failure sequence, so retries under simulated
 // faults are reproducible.
-func (t *TCPTransport) backoffLocked(attempt int) time.Duration {
-	d := t.cfg.BaseBackoff
+func (c *tcpChannel) backoffLocked(attempt int) time.Duration {
+	d := c.cfg.BaseBackoff
 	if d <= 0 {
 		d = time.Millisecond
 	}
 	for i := 1; i < attempt; i++ {
 		d *= 2
-		if t.cfg.MaxBackoff > 0 && d >= t.cfg.MaxBackoff {
-			d = t.cfg.MaxBackoff
+		if c.cfg.MaxBackoff > 0 && d >= c.cfg.MaxBackoff {
+			d = c.cfg.MaxBackoff
 			break
 		}
 	}
 	half := d / 2
-	jittered := half + time.Duration(t.rng.Uint64()%uint64(half+1))
-	t.stats.Backoffs = append(t.stats.Backoffs, jittered)
+	jittered := half + time.Duration(c.rng.Uint64()%uint64(half+1))
+	c.stats.Backoffs = append(c.stats.Backoffs, jittered)
 	return jittered
 }
 
 // attemptLocked performs one deadline-bounded encode+ack round trip.
-func (t *TCPTransport) attemptLocked(msg *wireMsg) error {
-	if t.conn == nil {
+func (c *tcpChannel) attemptLocked(msg *wireMsg) error {
+	if c.conn == nil {
 		return errors.New("no connection")
 	}
-	if t.cfg.MsgTimeout > 0 {
-		t.conn.SetDeadline(time.Now().Add(t.cfg.MsgTimeout))
-		defer t.conn.SetDeadline(time.Time{})
+	if c.cfg.MsgTimeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.cfg.MsgTimeout))
+		defer c.conn.SetDeadline(time.Time{})
 	}
-	if err := t.enc.Encode(msg); err != nil {
+	if err := c.enc.Encode(msg); err != nil {
 		return fmt.Errorf("encode: %w", err)
 	}
 	var ack bool
-	if err := t.dec.Decode(&ack); err != nil {
+	if err := c.dec.Decode(&ack); err != nil {
 		// A half-closed or dead socket surfaces here as an error (or a
 		// deadline timeout) instead of a silent hang.
 		return fmt.Errorf("awaiting ack: %w", err)
@@ -366,61 +517,69 @@ func (t *TCPTransport) attemptLocked(msg *wireMsg) error {
 	return nil
 }
 
-func (t *TCPTransport) send(msg wireMsg) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.closed {
+// send delivers one frame on channel c, retrying with backoff. hook points
+// at the transport's fault-hook field for this channel, read fresh each
+// attempt so tests can clear it mid-sequence.
+func (c *tcpChannel) send(msg wireMsg, hook *func(attempt int, msg *wireMsg) error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
 		return ErrTransportClosed
 	}
-	msg.Daemon = t.name
-	t.seq++
-	msg.Seq = t.seq
+	msg.Daemon = c.name
+	msg.Chan = c.label
+	c.seq++
+	msg.Seq = c.seq
 
 	var lastErr error
-	for attempt := 1; attempt <= t.cfg.MaxAttempts; attempt++ {
+	for attempt := 1; attempt <= c.cfg.MaxAttempts; attempt++ {
 		if attempt > 1 {
-			t.stats.Retries++
-			time.Sleep(t.backoffLocked(attempt - 1))
-			if err := t.redialLocked(); err != nil {
+			c.stats.Retries++
+			time.Sleep(c.backoffLocked(attempt - 1))
+			if err := c.redialLocked(); err != nil {
 				lastErr = err
 				continue
 			}
-			t.stats.Reconnects++
+			c.stats.Reconnects++
 		}
-		if t.FaultHook != nil {
-			if err := t.FaultHook(attempt, &msg); err != nil {
+		if fh := *hook; fh != nil {
+			if err := fh(attempt, &msg); err != nil {
 				lastErr = err
 				continue
 			}
 		}
-		if err := t.attemptLocked(&msg); err != nil {
+		if err := c.attemptLocked(&msg); err != nil {
 			lastErr = err
 			// The gob stream is now poisoned; force a redial next attempt.
-			if t.conn != nil {
-				t.conn.Close()
-				t.conn = nil
+			if c.conn != nil {
+				c.conn.Close()
+				c.conn = nil
 			}
 			continue
 		}
-		t.stats.Sent++
+		c.stats.Sent++
 		return nil
 	}
-	t.stats.Failures++
-	return fmt.Errorf("frontend: send failed after %d attempts: %w", t.cfg.MaxAttempts, lastErr)
+	c.stats.Failures++
+	return fmt.Errorf("frontend: send failed after %d attempts: %w", c.cfg.MaxAttempts, lastErr)
 }
 
 // Samples implements daemon.Transport.
 func (t *TCPTransport) Samples(batch []daemon.Sample) error {
-	return t.send(wireMsg{Samples: batch})
+	return t.ctl.send(wireMsg{Samples: batch}, &t.FaultHook)
 }
 
 // Update implements daemon.Transport.
 func (t *TCPTransport) Update(u daemon.Update) error {
-	return t.send(wireMsg{Update: &u})
+	return t.ctl.send(wireMsg{Update: &u}, &t.FaultHook)
 }
 
-// TraceShard implements daemon.TraceSink: trace shards ride the same
-// acknowledged, deduped, retrying frame stream as samples and updates.
-func (t *TCPTransport) TraceShard(sh trace.Shard) error {
-	return t.send(wireMsg{Shard: &sh})
+// BulkShard implements daemon.BulkSink: trace shards ride their own
+// acknowledged, deduped, retrying stream — never the sampling path.
+func (t *TCPTransport) BulkShard(sh trace.Shard) error {
+	return t.bulkChan().send(wireMsg{Shard: &sh}, &t.BulkFaultHook)
 }
+
+// TraceShard implements daemon.TraceSink for legacy callers; it routes to
+// the bulk channel so shard bytes stay off the control stream either way.
+func (t *TCPTransport) TraceShard(sh trace.Shard) error { return t.BulkShard(sh) }

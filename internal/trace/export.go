@@ -118,12 +118,30 @@ func WriteChrome(w io.Writer, tl *Timeline) error {
 		}
 	}
 
+	if notice := incompleteNotice(tl); notice != "" {
+		// Mirror mpe's "[log truncated]": a run that ended with spans
+		// stranded in daemon queues must never export as a complete trace.
+		events = append(events, chromeEvent{
+			Ph: "i", S: "g", Cat: "notice", Pid: toolPid,
+			Name: notice,
+		})
+	}
+
 	doc := struct {
 		TraceEvents     []chromeEvent `json:"traceEvents"`
 		DisplayTimeUnit string        `json:"displayTimeUnit"`
 	}{events, "ms"}
 	enc := json.NewEncoder(w)
 	return enc.Encode(doc)
+}
+
+// incompleteNotice returns the exporter-facing warning for spans stranded
+// undelivered at end of run, or "" for a fully delivered trace.
+func incompleteNotice(tl *Timeline) string {
+	if n := tl.Undelivered(); n > 0 {
+		return fmt.Sprintf("[trace incomplete: %d spans undelivered]", n)
+	}
+	return ""
 }
 
 // WriteCSV renders every merged span, one row each, with virtual times in
@@ -152,6 +170,14 @@ func WriteCSV(w io.Writer, tl *Timeline) error {
 			s.Obj,
 			strconv.FormatUint(s.Flow, 10),
 			strconv.FormatBool(s.Wait),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if notice := incompleteNotice(tl); notice != "" {
+		err := cw.Write([]string{
+			"", "notice", "", "", notice, "", "", "", "", "", "", "", "", "",
 		})
 		if err != nil {
 			return err

@@ -14,19 +14,23 @@ import (
 // Unlike the Tracer (engine context only), shards can arrive from TCP
 // listener goroutines, so Timeline locks.
 type Timeline struct {
-	mu      sync.Mutex
-	byProc  map[string][]Span
-	nodes   map[string]string
-	dropped map[string]int64
-	shards  int
+	mu         sync.Mutex
+	byProc     map[string][]Span
+	nodes      map[string]string
+	dropped    map[string]int64
+	outboxLost map[string]int64
+	undeliv    map[string]int64
+	shards     int
 }
 
 // NewTimeline returns an empty timeline.
 func NewTimeline() *Timeline {
 	return &Timeline{
-		byProc:  make(map[string][]Span),
-		nodes:   make(map[string]string),
-		dropped: make(map[string]int64),
+		byProc:     make(map[string][]Span),
+		nodes:      make(map[string]string),
+		dropped:    make(map[string]int64),
+		outboxLost: make(map[string]int64),
+		undeliv:    make(map[string]int64),
 	}
 }
 
@@ -39,6 +43,9 @@ func (tl *Timeline) Ingest(sh Shard) {
 	tl.nodes[sh.Proc] = sh.Node
 	if sh.Dropped > tl.dropped[sh.Proc] {
 		tl.dropped[sh.Proc] = sh.Dropped
+	}
+	if sh.OutboxLost > tl.outboxLost[sh.Proc] {
+		tl.outboxLost[sh.Proc] = sh.OutboxLost
 	}
 }
 
@@ -58,6 +65,48 @@ func (tl *Timeline) Dropped() int64 {
 		n += d
 	}
 	return n
+}
+
+// OutboxLost returns the total spans that were drained from recorders but
+// evicted from a daemon's bounded outbox or bulk queue before delivery.
+func (tl *Timeline) OutboxLost() int64 {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	var n int64
+	for _, d := range tl.outboxLost {
+		n += d
+	}
+	return n
+}
+
+// NoteUndelivered records that n of proc's spans were still stranded in a
+// daemon's queues when the run ended (the transport never recovered). The
+// count is a per-track total, so repeated notes are idempotent (the maximum
+// is kept).
+func (tl *Timeline) NoteUndelivered(proc string, n int64) {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	if n > tl.undeliv[proc] {
+		tl.undeliv[proc] = n
+	}
+}
+
+// Undelivered returns the total spans stranded undelivered at end of run.
+func (tl *Timeline) Undelivered() int64 {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	var n int64
+	for _, d := range tl.undeliv {
+		n += d
+	}
+	return n
+}
+
+// Lost returns the total spans missing from the merged timeline for any
+// reason: ring eviction, outbox/bulk-queue eviction, or stranded
+// undelivered at exit.
+func (tl *Timeline) Lost() int64 {
+	return tl.Dropped() + tl.OutboxLost() + tl.Undelivered()
 }
 
 // Procs returns all track names: rank tracks first, then tool (daemon)

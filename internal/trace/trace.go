@@ -108,7 +108,7 @@ type Span struct {
 }
 
 // Shard is one drained batch of a single track's spans, shipped from daemon
-// to front end through the report transport.
+// to front end through the bulk channel of the report transport.
 type Shard struct {
 	Daemon string
 	Proc   string
@@ -117,6 +117,11 @@ type Shard struct {
 	// Dropped is the cumulative count of spans the track's ring recorder
 	// evicted before they could be drained (trace back-pressure accounting).
 	Dropped int64
+	// OutboxLost is the cumulative count of the track's spans that had been
+	// drained from the recorder but were then evicted from the daemon's
+	// bounded outbox/bulk queue before delivery. Like Dropped it is a
+	// monotone per-track counter; the timeline keeps the maximum seen.
+	OutboxLost int64
 }
 
 // Config tunes the tracing subsystem.
@@ -125,6 +130,13 @@ type Config struct {
 	// (and counted) when a track outruns its drains. 0 means
 	// DefaultRingCapacity.
 	RingCapacity int
+	// FlushWatermark is the recorder fill level at which the owning daemon
+	// is asked to drain and ship the track immediately over the bulk channel
+	// instead of waiting for the next sampling tick. 0 means half the ring
+	// capacity; negative disables eager shipping (shards then move only on
+	// sampling ticks and the end-of-run flush, the pre-bulk-channel
+	// behaviour).
+	FlushWatermark int
 }
 
 // DefaultRingCapacity is the per-track recorder bound used when

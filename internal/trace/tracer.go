@@ -21,6 +21,13 @@ type Tracer struct {
 	open      map[string][]Span
 	syncs     map[any]*syncGroup
 	observers []func(Span)
+
+	// fillHooks maps a node to its daemon's drain callback: when a recorder
+	// on that node reaches the fill watermark the daemon ships it over the
+	// bulk channel immediately instead of waiting for the next tick.
+	fillHooks map[string]func(*Recorder)
+	watermark int
+	filling   bool // reentrancy guard: a drain callback must not trigger itself
 }
 
 type syncGroup struct {
@@ -30,14 +37,35 @@ type syncGroup struct {
 // New returns a Tracer with the given config (nil means defaults).
 func New(cfg *Config) *Tracer {
 	t := &Tracer{
-		recs:  make(map[string]*Recorder),
-		open:  make(map[string][]Span),
-		syncs: make(map[any]*syncGroup),
+		recs:      make(map[string]*Recorder),
+		open:      make(map[string][]Span),
+		syncs:     make(map[any]*syncGroup),
+		fillHooks: make(map[string]func(*Recorder)),
 	}
 	if cfg != nil {
 		t.cfg = *cfg
 	}
+	capacity := t.cfg.RingCapacity
+	if capacity <= 0 {
+		capacity = DefaultRingCapacity
+	}
+	switch {
+	case t.cfg.FlushWatermark < 0:
+		t.watermark = capacity + 1 // unreachable: eager shipping disabled
+	case t.cfg.FlushWatermark == 0:
+		t.watermark = capacity / 2
+	default:
+		t.watermark = t.cfg.FlushWatermark
+	}
 	return t
+}
+
+// SetFillHook registers the drain callback for one node's recorders. The
+// daemon owning the node installs it when bulk streaming is available; the
+// tracer invokes it (from engine context) whenever a recorder on the node
+// reaches the fill watermark.
+func (t *Tracer) SetFillHook(node string, fn func(*Recorder)) {
+	t.fillHooks[node] = fn
 }
 
 // AddObserver registers a callback invoked synchronously for every recorded
@@ -68,6 +96,11 @@ func (t *Tracer) record(proc, node string, s Span) {
 	s.Node = r.node
 	for _, fn := range t.observers {
 		fn(s)
+	}
+	if fn := t.fillHooks[r.node]; fn != nil && r.n >= t.watermark && !t.filling {
+		t.filling = true
+		fn(r)
+		t.filling = false
 	}
 }
 
