@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify bench
+.PHONY: build test vet race verify bench replay-golden
 
 build:
 	$(GO) build ./...
@@ -17,9 +17,26 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/frontend ./internal/daemon ./internal/faults ./internal/trace ./internal/core
+	$(GO) test -race ./internal/frontend ./internal/daemon ./internal/faults ./internal/trace ./internal/core ./internal/session
 
 verify: build vet test race
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# replay-golden records a seeded run with the CLI, replays the archive, and
+# fails on any difference between the live and replayed reports (the
+# "Trace written to" line names different files, so the report is compared
+# with the trace paths normalized).
+replay-golden:
+	@tmp=$$(mktemp -d) && \
+	trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) run ./cmd/pperf -prog small-messages -seed 7 -hierarchy -critical-path \
+		-trace "$$tmp/live.json" -record "$$tmp/run.pparch" 2>/dev/null \
+		| sed "s#$$tmp/live.json#TRACE#" > "$$tmp/live.txt" && \
+	$(GO) run ./cmd/pperf -replay "$$tmp/run.pparch" -hierarchy -critical-path \
+		-trace "$$tmp/replay.json" 2>/dev/null \
+		| sed "s#$$tmp/replay.json#TRACE#" > "$$tmp/replay.txt" && \
+	diff "$$tmp/live.txt" "$$tmp/replay.txt" && \
+	cmp "$$tmp/live.json" "$$tmp/replay.json" && \
+	echo "replay-golden: live and replayed reports and trace exports are identical"

@@ -7,6 +7,8 @@
 //
 //	pperf -prog small-messages -impl lam
 //	pperf -prog winscpw-sync -impl mpich2 -iterations 500
+//	pperf -prog small-messages -record run.pparch
+//	pperf -replay run.pparch
 //	pperf -list
 package main
 
@@ -23,6 +25,7 @@ import (
 	"pperf/internal/mpi"
 	"pperf/internal/pcl"
 	"pperf/internal/pperfmark"
+	"pperf/internal/session"
 	"pperf/internal/trace"
 )
 
@@ -43,8 +46,29 @@ func main() {
 		traceOut  = flag.String("trace", "", "write the merged event trace to this file (see TRACING.md)")
 		traceFmt  = flag.String("trace-format", "perfetto", "trace file format: perfetto (Chrome trace-event JSON) | csv")
 		critPath  = flag.Bool("critical-path", false, "trace the run and print the critical-path analysis")
+		record    = flag.String("record", "", "record the session's analysis-plane event stream to this archive (see REPLAY.md)")
+		replay    = flag.String("replay", "", "replay a recorded session archive offline instead of running a program")
 	)
 	flag.Parse()
+
+	if *replay != "" {
+		if *record != "" {
+			fmt.Fprintln(os.Stderr, "pperf: -record and -replay are mutually exclusive")
+			os.Exit(2)
+		}
+		a, err := session.Load(*replay)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pperf:", err)
+			os.Exit(1)
+		}
+		res, err := pperfmark.Replay(a)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pperf:", err)
+			os.Exit(1)
+		}
+		printResult(res, *hier, *judge, *critPath, *traceOut, *traceFmt)
+		return
+	}
 
 	if *pclFile != "" {
 		if err := runFromPCL(*pclFile); err != nil {
@@ -95,7 +119,7 @@ func main() {
 		tcfg = &trace.Config{}
 	}
 
-	res, err := pperfmark.Run(*prog, pperfmark.RunOptions{
+	opt := pperfmark.RunOptions{
 		Impl:  impl,
 		Seed:  *seed,
 		Spawn: method,
@@ -106,18 +130,38 @@ func main() {
 		},
 		Faults: plan,
 		Trace:  tcfg,
-	})
+	}
+	var rec *session.Recorder
+	if *record != "" {
+		rec = session.NewRecorder()
+		opt.Record = rec
+	}
+	res, err := pperfmark.Run(*prog, opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pperf:", err)
 		os.Exit(1)
 	}
+	if rec != nil {
+		if err := rec.Save(*record); err != nil {
+			fmt.Fprintln(os.Stderr, "pperf:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pperf: session recorded to %s (%d events)\n", *record, rec.EventCount())
+	}
+	printResult(res, *hier, *judge, *critPath, *traceOut, *traceFmt)
+}
+
+// printResult renders a run's findings. It reads everything through the
+// Result's DataSource, so a live run and a replayed archive print through
+// the identical path — the replay acceptance bar is byte-equal output.
+func printResult(res *pperfmark.Result, hier, judge, critPath bool, traceOut, traceFmt string) {
 	if res.Unsupported != nil {
-		fmt.Printf("%s under %s: %v\n", *prog, impl, res.Unsupported)
+		fmt.Printf("%s under %s: %v\n", res.Program, res.Impl, res.Unsupported)
 		return
 	}
 
 	fmt.Printf("%s under %s — virtual runtime %v, %d probe executions\n\n",
-		*prog, impl, res.RunTime, res.Session.ProbeExecutions())
+		res.Program, res.Impl, res.RunTime, res.ProbeExecs)
 	if len(res.FaultLog) > 0 {
 		fmt.Println("Injected faults:")
 		for _, ev := range res.FaultLog {
@@ -128,25 +172,31 @@ func main() {
 	fmt.Println("Performance Consultant (condensed):")
 	fmt.Print(res.PC.Render())
 
-	if *hier {
+	if hier {
 		fmt.Println("\nResource hierarchy:")
-		fmt.Print(res.Session.FE.Hierarchy().Render())
+		fmt.Print(res.Source.Hierarchy().Render())
 	}
-	if *traceOut != "" {
-		if err := writeTrace(*traceOut, *traceFmt, res.Timeline); err != nil {
+	if traceOut != "" || critPath {
+		if res.Timeline == nil {
+			fmt.Fprintln(os.Stderr, "pperf: no trace in this session (replayed archive was recorded without -trace/-critical-path)")
+			os.Exit(1)
+		}
+	}
+	if traceOut != "" {
+		if err := writeTrace(traceOut, traceFmt, res.Timeline, res.Source.CounterTracks()); err != nil {
 			fmt.Fprintln(os.Stderr, "pperf:", err)
 			os.Exit(1)
 		}
 		fmt.Printf("\nTrace written to %s (%s format, %d shards; spans lost: %d ring-evicted, %d outbox-evicted, %d undelivered)\n",
-			*traceOut, *traceFmt, res.Timeline.Shards(),
+			traceOut, traceFmt, res.Timeline.Shards(),
 			res.Timeline.Dropped(), res.Timeline.OutboxLost(), res.Timeline.Undelivered())
 	}
-	if *critPath {
+	if critPath {
 		cp := trace.Analyze(res.Timeline)
 		fmt.Println()
 		fmt.Print(cp.Render())
 	}
-	if *judge {
+	if judge {
 		v := pperfmark.Judge(res)
 		verdict := "Pass"
 		if !v.Pass {
@@ -216,8 +266,10 @@ func runFromPCL(path string) error {
 	return nil
 }
 
-// writeTrace exports the merged timeline in the requested format.
-func writeTrace(path, format string, tl *trace.Timeline) error {
+// writeTrace exports the merged timeline in the requested format. The
+// Perfetto export also carries the front end's folding histograms as
+// counter tracks next to the span tracks.
+func writeTrace(path, format string, tl *trace.Timeline, counters []trace.CounterTrack) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -226,7 +278,7 @@ func writeTrace(path, format string, tl *trace.Timeline) error {
 	case "csv":
 		err = trace.WriteCSV(f, tl)
 	default:
-		err = trace.WriteChrome(f, tl)
+		err = trace.WriteChromeWith(f, tl, counters)
 	}
 	if cerr := f.Close(); err == nil {
 		err = cerr

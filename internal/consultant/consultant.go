@@ -11,7 +11,7 @@
 package consultant
 
 import (
-	"pperf/internal/frontend"
+	"pperf/internal/datasource"
 	"pperf/internal/resource"
 	"pperf/internal/sim"
 )
@@ -93,9 +93,11 @@ type Engine interface {
 	Now() sim.Time
 }
 
-// Consultant runs the search.
+// Consultant runs the search. It reads exclusively through the DataSource
+// interface, so the same search runs against the live front end or an
+// offline session replay.
 type Consultant struct {
-	fe    *frontend.FrontEnd
+	ds    datasource.DataSource
 	eng   Engine
 	cfg   Config
 	roots []*Node
@@ -114,7 +116,7 @@ type Node struct {
 	Label      string // short display label for the refinement step
 
 	spec     hypoSpec
-	series   *frontend.Series
+	series   *datasource.Series
 	lastVals map[string]float64 // per-proc cumulative cursor
 	lastTime sim.Time           // sample-aligned cursor
 	evals    int
@@ -142,9 +144,10 @@ type Node struct {
 	c        *Consultant
 }
 
-// New creates a Consultant over a front end.
-func New(fe *frontend.FrontEnd, eng Engine, cfg Config) *Consultant {
-	return &Consultant{fe: fe, eng: eng, cfg: cfg, seen: map[string]bool{}}
+// New creates a Consultant over any data source — the live front end or a
+// session replay.
+func New(ds datasource.DataSource, eng Engine, cfg Config) *Consultant {
+	return &Consultant{ds: ds, eng: eng, cfg: cfg, seen: map[string]bool{}}
 }
 
 // specs returns the top-level hypothesis set.
@@ -191,7 +194,7 @@ func (c *Consultant) newNode(hs hypoSpec, f resource.Focus, label string, parent
 		return nil, nil
 	}
 	c.seen[key] = true
-	series, err := c.fe.EnableMetric(hs.metricName, f)
+	series, err := c.ds.EnableMetric(hs.metricName, f)
 	if err != nil {
 		return nil, err
 	}
@@ -220,8 +223,13 @@ func (c *Consultant) newNode(hs hypoSpec, f resource.Focus, label string, parent
 }
 
 // evaluate walks every live node, updates its value over the last interval,
-// latches true results (expanding them), and prunes persistent falses.
+// latches true results (expanding them), and prunes persistent falses. The
+// leading Sync is the evaluation's read barrier: a recording source stamps
+// it into the archive, and a replaying source applies the recorded stream
+// up to the matching barrier — so the k-th replayed evaluation reads
+// exactly the state the k-th live evaluation read.
 func (c *Consultant) evaluate() {
+	c.ds.Sync()
 	now := c.eng.Now()
 	var walk func(n *Node)
 	walk = func(n *Node) {
@@ -237,7 +245,7 @@ func (c *Consultant) evaluate() {
 		}
 		if !n.True && n.falseRun >= c.cfg.PruneEvals {
 			n.Pruned = true
-			c.fe.DisableMetric(n.spec.metricName, n.Focus)
+			c.ds.DisableMetric(n.spec.metricName, n.Focus)
 		}
 	}
 	for _, r := range c.roots {
@@ -266,7 +274,7 @@ func (n *Node) update(now sim.Time) {
 	}
 	n.lastTime = now
 	n.evals++
-	if n.c.fe.LostProcessCount() > 0 {
+	if n.c.ds.LostProcessCount() > 0 {
 		n.Partial = true
 	}
 	if len(fractions) == 0 {

@@ -47,11 +47,11 @@ func (c *Consultant) candidates(n *Node, ax axis) []candidate {
 // application's procedures, then down the observed call graph (which is how
 // the tool drills from Gsend_message into MPI_Send).
 func (c *Consultant) codeCandidates(n *Node) []candidate {
-	h := c.fe.Hierarchy()
+	h := c.ds.Hierarchy()
 	var out []candidate
 	if fn := n.Focus.CodeFunction(); fn != "" {
 		// Refine to callees, avoiding functions already on this chain.
-		for _, callee := range c.fe.Callees(fn) {
+		for _, callee := range c.ds.Callees(fn) {
 			if n.onCodeChain(callee) {
 				continue
 			}
@@ -77,7 +77,7 @@ func (c *Consultant) codeCandidates(n *Node) []candidate {
 			if skip[fn.Name()] {
 				continue
 			}
-			if lib && c.fe.IsCallee(fn.Name()) {
+			if lib && c.ds.IsCallee(fn.Name()) {
 				continue
 			}
 			out = append(out, candidate{n.Focus.WithCode(fn.Path()), fn.Name()})
@@ -117,7 +117,7 @@ func findFunctionPath(h *resource.Hierarchy, fname string) string {
 
 // machineCandidates refines the Machine axis: whole → nodes → processes.
 func (c *Consultant) machineCandidates(n *Node) []candidate {
-	h := c.fe.Hierarchy()
+	h := c.ds.Hierarchy()
 	var out []candidate
 	if n.Focus.MachineProcess() != "" {
 		return nil
@@ -146,7 +146,7 @@ func (c *Consultant) machineCandidates(n *Node) []candidate {
 // communicators/windows, then message tags. Retired resources (freed
 // windows) are excluded from the candidate set (§4.2.3).
 func (c *Consultant) syncCandidates(n *Node) []candidate {
-	h := c.fe.Hierarchy()
+	h := c.ds.Hierarchy()
 	parts := n.Focus.SyncParts()
 	var out []candidate
 	switch len(parts) {

@@ -84,7 +84,7 @@ func (c *Consultant) AnyTrue() bool {
 // findings, as the paper's figures show: the top-level hypotheses with their
 // truth values, and beneath each true one the tree of true refinements.
 func (c *Consultant) Render() string {
-	degraded := c.fe.LostProcessCount() > 0
+	degraded := c.ds.LostProcessCount() > 0
 	var b strings.Builder
 	b.WriteString("TopLevelHypothesis\n")
 	for i, r := range c.roots {
@@ -105,7 +105,7 @@ func (c *Consultant) Render() string {
 	// In a healthy run this block never renders, so default reports are
 	// unchanged; in a degraded run the verdicts carry their caveat.
 	if degraded {
-		fmt.Fprintf(&b, "WARNING: %s\n", c.fe.DegradationSummary())
+		fmt.Fprintf(&b, "WARNING: %s\n", c.ds.DegradationSummary())
 		b.WriteString("WARNING: hypotheses marked [partial data] were evaluated on surviving processes only\n")
 	}
 	return b.String()
@@ -113,7 +113,7 @@ func (c *Consultant) Render() string {
 
 // Coverage reports the front end's data-coverage fraction at render time
 // (1.0 = every known process reporting).
-func (c *Consultant) Coverage() float64 { return c.fe.Coverage() }
+func (c *Consultant) Coverage() float64 { return c.ds.Coverage() }
 
 func boolWord(v bool) string {
 	if v {
@@ -219,7 +219,7 @@ func (n *Node) describe() string {
 
 // nameSuffix appends a friendly name when the resource has one.
 func nameSuffix(n *Node) string {
-	h := n.c.fe.Hierarchy()
+	h := n.c.ds.Hierarchy()
 	if res := h.FindPath(n.Focus.SyncPath); res != nil {
 		if res.DisplayName() != res.Name() {
 			return fmt.Sprintf(" (%s)", res.DisplayName())

@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"pperf/internal/cluster"
 	"pperf/internal/daemon"
@@ -16,6 +17,7 @@ import (
 	"pperf/internal/mdl"
 	"pperf/internal/mpi"
 	"pperf/internal/resource"
+	"pperf/internal/session"
 	"pperf/internal/sim"
 	"pperf/internal/trace"
 )
@@ -58,6 +60,10 @@ type Options struct {
 	// default) leaves every trace hook cold — runs are byte-identical to a
 	// build without the trace subsystem.
 	Trace *trace.Config
+	// Recorder, when non-nil, is attached to the front end before launch
+	// and captures the full analysis-plane event stream for offline replay
+	// (see internal/session). Nil leaves every recording hook cold.
+	Recorder *session.Recorder
 }
 
 // Session is a live tool instance around one simulated cluster.
@@ -117,6 +123,10 @@ func NewSession(opts Options) (*Session, error) {
 	fe := frontend.New()
 	fe.NumBins = opts.NumBins
 	fe.BinWidth = opts.BinWidth
+	if opts.Recorder != nil {
+		opts.Recorder.SetHistogram(opts.NumBins, opts.BinWidth)
+		fe.SetRecorder(opts.Recorder)
+	}
 
 	s := &Session{Eng: eng, Spec: spec, World: world, FE: fe, Lib: lib}
 
@@ -319,13 +329,20 @@ func (s *Session) flushTrace() {
 	for _, d := range s.Daemons {
 		d.FlushTrace()
 	}
-	tl := s.FE.Timeline()
-	if tl == nil {
+	if s.FE.Timeline() == nil {
 		return
 	}
 	for _, d := range s.Daemons {
-		for proc, n := range d.UndeliveredSpans() {
-			tl.NoteUndelivered(proc, n)
+		und := d.UndeliveredSpans()
+		procs := make([]string, 0, len(und))
+		for proc := range und {
+			procs = append(procs, proc)
+		}
+		// Sorted so the notes land in the timeline — and the session
+		// archive, when recording — in an order independent of map layout.
+		sort.Strings(procs)
+		for _, proc := range procs {
+			s.FE.NoteUndelivered(proc, und[proc])
 		}
 	}
 }

@@ -8,56 +8,43 @@
 package daemon
 
 import (
-	"pperf/internal/resource"
+	"pperf/internal/datasource"
 	"pperf/internal/sim"
 	"pperf/internal/trace"
 )
 
-// Sample is one sampled metric delta for one process.
-type Sample struct {
-	Metric string
-	Focus  resource.Focus
-	Proc   string
-	Time   sim.Time
-	Delta  float64
-	Value  float64 // cumulative value, for SampledFunction-style reads
-}
-
-// UpdateKind enumerates resource-update reports (§4.2.3).
-type UpdateKind int
+// The report types daemons emit are defined in internal/datasource — the
+// analysis plane ingests them from live transports and recorded session
+// archives alike — and aliased here so daemon code and the gob wire
+// encoding read unchanged.
+type (
+	// Sample is one sampled metric delta for one process.
+	Sample = datasource.Sample
+	// UpdateKind enumerates resource-update reports (§4.2.3).
+	UpdateKind = datasource.UpdateKind
+	// Update is a resource-update report from daemon to front end.
+	Update = datasource.Update
+)
 
 const (
 	// UpAddResource announces a new resource at Path.
-	UpAddResource UpdateKind = iota
+	UpAddResource = datasource.UpAddResource
 	// UpRetire marks the resource at Path deallocated.
-	UpRetire
+	UpRetire = datasource.UpRetire
 	// UpSetName attaches a user-friendly display name to Path.
-	UpSetName
+	UpSetName = datasource.UpSetName
 	// UpCallEdge reports an observed caller→callee pair.
-	UpCallEdge
+	UpCallEdge = datasource.UpCallEdge
 	// UpProcessExit reports that the process named Proc finished.
-	UpProcessExit
+	UpProcessExit = datasource.UpProcessExit
 	// UpProcessLost reports that the process named Proc was forcibly
 	// terminated (node crash, job abort) without exiting cleanly.
-	UpProcessLost
+	UpProcessLost = datasource.UpProcessLost
 	// UpHeartbeat is a periodic liveness beacon carrying no resource change;
 	// the front end uses it (and any other report stamped with Daemon) to
 	// detect crashed or hung daemons.
-	UpHeartbeat
+	UpHeartbeat = datasource.UpHeartbeat
 )
-
-// Update is a resource-update report from daemon to front end.
-type Update struct {
-	Kind           UpdateKind
-	Path           string
-	Display        string
-	Proc           string
-	Caller, Callee string
-	Time           sim.Time
-	// Daemon identifies the sending daemon (liveness tracking). The in-
-	// process transport and old captures leave it empty.
-	Daemon string
-}
 
 // Transport carries daemon reports to the front end. The in-process
 // implementation calls the front end directly; the TCP implementation gob-

@@ -1,74 +1,67 @@
-// Package frontend implements the tool's front-end process: it aggregates
-// the samples the per-node daemons forward into folding histograms, mirrors
-// the dynamically discovered resource hierarchy (including user-friendly
-// names and retirement), maintains the observed call graph, and serves
-// queries for visualization and for the Performance Consultant's search.
+// Package frontend implements the tool's front-end process: the live
+// implementation of the analysis plane's DataSource interface. It ingests
+// the samples the per-node daemons forward into the shared datasource.View
+// (folding histograms, the mirrored resource hierarchy, the observed call
+// graph, process lifecycle), fans metric enable/disable requests out to the
+// daemons, and — when a session recorder is attached — captures the whole
+// event stream into a replayable archive.
 package frontend
 
 import (
-	"fmt"
-	"sort"
-	"strings"
 	"sync"
 
 	"pperf/internal/daemon"
-	"pperf/internal/metric"
+	"pperf/internal/datasource"
 	"pperf/internal/resource"
 	"pperf/internal/sim"
 	"pperf/internal/trace"
 )
 
-// ProcInfo is what the front end knows about one application process.
-type ProcInfo struct {
-	Name    string
-	Node    string
-	Started sim.Time
-	Exited  bool
-	EndTime sim.Time
-	// Lost marks a process that stopped reporting without a clean exit: its
-	// daemon reported it forcibly terminated, or the daemon itself went
-	// silent (crash/hang detected by the liveness monitor). Lost processes'
-	// data is stale from LostTime on and they leave the Performance
-	// Consultant's candidate set.
-	Lost     bool
-	LostTime sim.Time
-}
+// Re-exported datasource types, so existing front-end consumers keep
+// reading naturally while the definitions live in the shared plane.
+type (
+	// ProcInfo is what the front end knows about one application process.
+	ProcInfo = datasource.ProcInfo
+	// DaemonHealth is the front end's liveness view of one daemon.
+	DaemonHealth = datasource.DaemonHealth
+	// Series is the collected data of one enabled metric-focus pair.
+	Series = datasource.Series
+)
 
-// FrontEnd is the tool's central state. It implements daemon.Transport for
-// the in-process connection; the TCP transport delivers into the same
-// methods.
+// FrontEnd is the tool's central state. It embeds the source-agnostic
+// datasource.View (queries, series, hierarchy, liveness) and adds what only
+// the live side has: the daemons to fan instrumentation requests out to,
+// the trace timeline the daemons stream into, and the optional session
+// recorder. It implements daemon.Transport for the in-process connection;
+// the TCP transport delivers into the same methods.
 type FrontEnd struct {
-	mu      sync.Mutex
-	hier    *resource.Hierarchy
+	*datasource.View
+
 	daemons []*daemon.Daemon
-	series  map[string]*Series
-	edges   map[string]map[string]bool
-	callees map[string]bool
-	procs   map[string]*ProcInfo
 
-	// liveness is per-daemon last-contact state (nil until a fault plan
-	// arms the liveness monitor or a daemon-stamped report arrives).
-	liveness map[string]*DaemonHealth
-
-	// timeline, when non-nil, merges the trace shards the daemons stream
-	// (nil unless tracing is enabled for the run).
+	// tmu guards timeline (fe.View has its own lock for the query state).
+	tmu      sync.Mutex
 	timeline *trace.Timeline
 
-	// NumBins/BinWidth configure new histograms (defaults are Paradyn's).
-	NumBins  int
-	BinWidth sim.Duration
+	// rec, when non-nil, captures the analysis-plane event stream for
+	// offline replay. Every hook below is a nil test when recording is off,
+	// so a cold recorder costs nothing on the sampling path.
+	rec datasource.Recorder
 }
+
+// FrontEnd must satisfy the full DataSource contract (the Consultant and
+// everything else above the wire depends only on that interface).
+var _ datasource.DataSource = (*FrontEnd)(nil)
 
 // New creates an empty front end.
 func New() *FrontEnd {
-	return &FrontEnd{
-		hier:    resource.New(),
-		series:  map[string]*Series{},
-		edges:   map[string]map[string]bool{},
-		callees: map[string]bool{},
-		procs:   map[string]*ProcInfo{},
-	}
+	return &FrontEnd{View: datasource.NewView()}
 }
+
+// SetRecorder attaches a session recorder; every subsequently ingested
+// event is captured. Call before Launch so the archive holds the complete
+// stream. A nil recorder detaches.
+func (fe *FrontEnd) SetRecorder(rec datasource.Recorder) { fe.rec = rec }
 
 // AddDaemon registers a daemon the front end controls.
 func (fe *FrontEnd) AddDaemon(d *daemon.Daemon) {
@@ -77,8 +70,8 @@ func (fe *FrontEnd) AddDaemon(d *daemon.Daemon) {
 
 // EnableTrace prepares the front end to merge daemon trace shards.
 func (fe *FrontEnd) EnableTrace() {
-	fe.mu.Lock()
-	defer fe.mu.Unlock()
+	fe.tmu.Lock()
+	defer fe.tmu.Unlock()
 	if fe.timeline == nil {
 		fe.timeline = trace.NewTimeline()
 	}
@@ -87,8 +80,8 @@ func (fe *FrontEnd) EnableTrace() {
 // Timeline returns the merged trace timeline (nil when tracing was never
 // enabled).
 func (fe *FrontEnd) Timeline() *trace.Timeline {
-	fe.mu.Lock()
-	defer fe.mu.Unlock()
+	fe.tmu.Lock()
+	defer fe.tmu.Unlock()
 	return fe.timeline
 }
 
@@ -96,13 +89,16 @@ func (fe *FrontEnd) Timeline() *trace.Timeline {
 // arriving over TCP before EnableTrace (ordering races are impossible in
 // the simulation, but cheap to tolerate) lazily create the timeline.
 func (fe *FrontEnd) TraceShard(sh trace.Shard) error {
-	fe.mu.Lock()
+	fe.tmu.Lock()
 	if fe.timeline == nil {
 		fe.timeline = trace.NewTimeline()
 	}
 	tl := fe.timeline
-	fe.mu.Unlock()
+	fe.tmu.Unlock()
 	tl.Ingest(sh)
+	if fe.rec != nil {
+		fe.rec.RecordShard(sh)
+	}
 	return nil
 }
 
@@ -112,43 +108,16 @@ func (fe *FrontEnd) TraceShard(sh trace.Shard) error {
 // shard traffic in its dedicated bulk queue instead of the report outbox.
 func (fe *FrontEnd) BulkShard(sh trace.Shard) error { return fe.TraceShard(sh) }
 
-// Series is the collected data of one enabled metric-focus pair: the
-// aggregated histogram plus per-process histograms.
-type Series struct {
-	Metric  string
-	Def     *metric.Def
-	Focus   resource.Focus
-	agg     *metric.Histogram
-	perProc map[string]*metric.Histogram
-	fe      *FrontEnd
-	lastT   sim.Time
-}
-
-// LastSampleTime returns the time of the newest ingested sample, so
-// consumers can align rate computations with actual data coverage.
-func (s *Series) LastSampleTime() sim.Time { return s.lastT }
-
-// Histogram returns the focus-aggregated histogram.
-func (s *Series) Histogram() *metric.Histogram { return s.agg }
-
-// ProcHistogram returns one process's histogram (nil if that process never
-// reported).
-func (s *Series) ProcHistogram(proc string) *metric.Histogram { return s.perProc[proc] }
-
-// Procs lists the processes that have reported samples, sorted.
-func (s *Series) Procs() []string {
-	out := make([]string, 0, len(s.perProc))
-	for p := range s.perProc {
-		out = append(out, p)
+// NoteUndelivered folds end-of-run undelivered-span accounting into the
+// timeline (and the session archive, when recording).
+func (fe *FrontEnd) NoteUndelivered(proc string, n int64) {
+	if tl := fe.Timeline(); tl != nil {
+		tl.NoteUndelivered(proc, n)
 	}
-	sort.Strings(out)
-	return out
+	if fe.rec != nil {
+		fe.rec.RecordUndelivered(proc, n)
+	}
 }
-
-// Total returns the cumulative metric value across all samples.
-func (s *Series) Total() float64 { return s.agg.Total() }
-
-func seriesKey(m string, f resource.Focus) string { return m + "\x00" + f.Key() }
 
 // EnableMetric turns on a metric-focus pair across all daemons, returning
 // its (possibly pre-existing) series. Enabling is all-or-nothing: if any
@@ -157,31 +126,24 @@ func seriesKey(m string, f resource.Focus) string { return m + "\x00" + f.Key() 
 // leaves no partially-enabled state behind (no orphaned probes charging
 // overhead, no registered series silently collecting a subset of nodes).
 func (fe *FrontEnd) EnableMetric(metricName string, focus resource.Focus) (*Series, error) {
-	fe.mu.Lock()
-	if s, ok := fe.series[seriesKey(metricName, focus)]; ok {
-		fe.mu.Unlock()
+	s, existed := fe.View.RegisterSeries(metricName, focus)
+	if existed {
 		return s, nil
 	}
-	s := &Series{
-		Metric:  metricName,
-		Focus:   focus,
-		agg:     metric.NewHistogram(fe.NumBins, fe.BinWidth),
-		perProc: map[string]*metric.Histogram{},
-		fe:      fe,
-	}
-	fe.series[seriesKey(metricName, focus)] = s
-	fe.mu.Unlock()
-
 	for i, d := range fe.daemons {
 		if _, err := d.Enable(metricName, focus); err != nil {
 			for _, prev := range fe.daemons[:i] {
 				prev.Disable(metricName, focus)
 			}
-			fe.mu.Lock()
-			delete(fe.series, seriesKey(metricName, focus))
-			fe.mu.Unlock()
+			fe.View.DropSeries(metricName, focus)
+			if fe.rec != nil {
+				fe.rec.RecordEnable(metricName, focus, err.Error())
+			}
 			return nil, err
 		}
+	}
+	if fe.rec != nil {
+		fe.rec.RecordEnable(metricName, focus, "")
 	}
 	return s, nil
 }
@@ -194,11 +156,15 @@ func (fe *FrontEnd) DisableMetric(metricName string, focus resource.Focus) {
 	}
 }
 
-// Series returns the series for a metric-focus pair, or nil.
-func (fe *FrontEnd) Series(metricName string, focus resource.Focus) *Series {
-	fe.mu.Lock()
-	defer fe.mu.Unlock()
-	return fe.series[seriesKey(metricName, focus)]
+// Sync implements the DataSource read barrier: consumers (the Performance
+// Consultant) call it before each evaluation pass. Live state is always
+// current, so the only work is stamping the barrier into the session
+// archive — which is what lets a replay reproduce each evaluation's exact
+// input state.
+func (fe *FrontEnd) Sync() {
+	if fe.rec != nil {
+		fe.rec.RecordBarrier()
+	}
 }
 
 // --- daemon.Transport implementation --------------------------------------
@@ -206,23 +172,9 @@ func (fe *FrontEnd) Series(metricName string, focus resource.Focus) *Series {
 // Samples ingests a batch of sampled deltas. It implements
 // daemon.Transport; the in-process path never fails.
 func (fe *FrontEnd) Samples(batch []daemon.Sample) error {
-	fe.mu.Lock()
-	defer fe.mu.Unlock()
-	for _, sm := range batch {
-		s, ok := fe.series[seriesKey(sm.Metric, sm.Focus)]
-		if !ok {
-			continue // disabled while in flight
-		}
-		s.agg.Add(sm.Time, sm.Delta)
-		if sm.Time > s.lastT {
-			s.lastT = sm.Time
-		}
-		ph, ok := s.perProc[sm.Proc]
-		if !ok {
-			ph = metric.NewHistogram(fe.NumBins, fe.BinWidth)
-			s.perProc[sm.Proc] = ph
-		}
-		ph.Add(sm.Time, sm.Delta)
+	fe.View.ApplySamples(batch)
+	if fe.rec != nil {
+		fe.rec.RecordSamples(batch)
 	}
 	return nil
 }
@@ -230,166 +182,47 @@ func (fe *FrontEnd) Samples(batch []daemon.Sample) error {
 // Update ingests a resource-update report. It implements daemon.Transport;
 // the in-process path never fails.
 func (fe *FrontEnd) Update(u daemon.Update) error {
-	fe.mu.Lock()
-	defer fe.mu.Unlock()
-	if u.Daemon != "" {
-		fe.noteDaemonLocked(u.Daemon, u.Time)
-	}
-	switch u.Kind {
-	case daemon.UpAddResource:
-		n := fe.hier.AddPath(u.Path)
-		if u.Display != "" {
-			n.SetDisplayName(u.Display)
-		}
-		if strings.HasPrefix(u.Path, "/Machine/") {
-			parts := strings.Split(strings.TrimPrefix(u.Path, "/Machine/"), "/")
-			if len(parts) == 2 {
-				if _, ok := fe.procs[parts[1]]; !ok {
-					fe.procs[parts[1]] = &ProcInfo{Name: parts[1], Node: parts[0], Started: u.Time}
-				}
-			}
-		}
-	case daemon.UpRetire:
-		if n := fe.hier.FindPath(u.Path); n != nil {
-			n.Retire()
-		}
-	case daemon.UpSetName:
-		fe.hier.AddPath(u.Path).SetDisplayName(u.Display)
-	case daemon.UpCallEdge:
-		m, ok := fe.edges[u.Caller]
-		if !ok {
-			m = map[string]bool{}
-			fe.edges[u.Caller] = m
-		}
-		m[u.Callee] = true
-		fe.callees[u.Callee] = true
-	case daemon.UpProcessExit:
-		if p, ok := fe.procs[u.Proc]; ok {
-			p.Exited = true
-			p.EndTime = u.Time
-		}
-		if n := fe.hier.FindPath(u.Path); n != nil {
-			n.Retire() // exited processes gray out and leave the PC's candidate set
-		}
-	case daemon.UpProcessLost:
-		fe.markProcLostLocked(u.Proc, u.Path, u.Time)
-	case daemon.UpHeartbeat:
-		// Liveness was recorded above; nothing else to do.
+	fe.View.ApplyUpdate(u)
+	if fe.rec != nil {
+		fe.rec.RecordUpdate(u)
 	}
 	return nil
 }
 
-// --- queries ----------------------------------------------------------------
+// --- liveness ---------------------------------------------------------------
 
-// Hierarchy returns the front end's resource-hierarchy mirror.
-func (fe *FrontEnd) Hierarchy() *resource.Hierarchy { return fe.hier }
-
-// Callees returns the observed callees of a function, sorted.
-func (fe *FrontEnd) Callees(caller string) []string {
-	fe.mu.Lock()
-	defer fe.mu.Unlock()
-	var out []string
-	for c := range fe.edges[caller] {
-		out = append(out, c)
+// StartLiveness arms the periodic liveness monitor: every interval of
+// virtual time it checks each known daemon's last contact, and one that has
+// been silent longer than timeout is marked stale with all its un-exited
+// processes lost. Daemons registered with AddDaemon are pre-seeded so a
+// daemon that dies before its first report is still detected. The pre-seed
+// flows through Update as a heartbeat report, so a recording session
+// captures it like any other liveness evidence.
+func (fe *FrontEnd) StartLiveness(eng interface {
+	After(d sim.Duration, fn func())
+	Now() sim.Time
+}, interval, timeout sim.Duration) {
+	now := eng.Now()
+	for _, d := range fe.daemons {
+		fe.Update(daemon.Update{Kind: daemon.UpHeartbeat, Daemon: d.Name(), Time: now})
 	}
-	sort.Strings(out)
-	return out
-}
-
-// IsCallee reports whether the function has been observed as someone's
-// callee. Functions that never appear as callees are the program's
-// call-graph roots — the entry points of the Performance Consultant's
-// code-axis search.
-func (fe *FrontEnd) IsCallee(fname string) bool {
-	fe.mu.Lock()
-	defer fe.mu.Unlock()
-	return fe.callees[fname]
-}
-
-// Processes returns known processes sorted by name.
-func (fe *FrontEnd) Processes() []*ProcInfo {
-	fe.mu.Lock()
-	defer fe.mu.Unlock()
-	out := make([]*ProcInfo, 0, len(fe.procs))
-	for _, p := range fe.procs {
-		out = append(out, p)
+	var tick func()
+	tick = func() {
+		fe.checkLiveness(eng.Now(), timeout)
+		eng.After(interval, tick)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	return out
+	eng.After(interval, tick)
 }
 
-// LiveProcessCount returns the number of processes that have not exited.
-func (fe *FrontEnd) LiveProcessCount() int {
-	fe.mu.Lock()
-	defer fe.mu.Unlock()
-	n := 0
-	for _, p := range fe.procs {
-		if !p.Exited {
-			n++
+// checkLiveness marks daemons silent for longer than timeout as stale and
+// their processes as lost. Verdicts are applied in sorted daemon order
+// (SilentDaemons sorts) so detection — and its recording — is independent
+// of map layout.
+func (fe *FrontEnd) checkLiveness(now sim.Time, timeout sim.Duration) {
+	for _, name := range fe.View.SilentDaemons(now, timeout) {
+		fe.View.MarkDaemonStale(name, now)
+		if fe.rec != nil {
+			fe.rec.RecordStale(name, now)
 		}
 	}
-	return n
-}
-
-// ProcessCount returns the number of processes ever seen.
-func (fe *FrontEnd) ProcessCount() int {
-	fe.mu.Lock()
-	defer fe.mu.Unlock()
-	return len(fe.procs)
-}
-
-// ExportCSV writes the series' per-bin data — time, aggregate value, and one
-// column per process — the way the paper's authors exported Paradyn's
-// histogram data to compute byte totals and averages (§5.1.2 etc.).
-func (fe *FrontEnd) ExportCSV(s *Series) string {
-	fe.mu.Lock()
-	defer fe.mu.Unlock()
-	procs := make([]string, 0, len(s.perProc))
-	for p := range s.perProc {
-		procs = append(procs, p)
-	}
-	sort.Strings(procs)
-	var b strings.Builder
-	b.WriteString("bin_start_s,all")
-	for _, p := range procs {
-		b.WriteString("," + p)
-	}
-	b.WriteByte('\n')
-	width := s.agg.BinWidth().Seconds()
-	for i := 0; i < s.agg.NumFilled(); i++ {
-		fmt.Fprintf(&b, "%.3f,%g", float64(i)*width, s.agg.Bin(i))
-		for _, p := range procs {
-			ph := s.perProc[p]
-			// Per-process histograms can fold at different times; export
-			// the value at the aggregate's bin granularity.
-			v := 0.0
-			if ph.BinWidth() == s.agg.BinWidth() {
-				v = ph.Bin(i)
-			} else {
-				// Re-bin: sum the process bins covering this interval.
-				ratio := float64(s.agg.BinWidth()) / float64(ph.BinWidth())
-				lo := int(float64(i) * ratio)
-				hi := int(float64(i+1) * ratio)
-				for j := lo; j < hi; j++ {
-					v += ph.Bin(j)
-				}
-			}
-			fmt.Fprintf(&b, ",%g", v)
-		}
-		b.WriteByte('\n')
-	}
-	return b.String()
-}
-
-// RenderSeries draws a series as text: the aggregate sparkline plus per-
-// process lines — the stand-in for Paradyn's histogram visualizations.
-func (fe *FrontEnd) RenderSeries(s *Series, width int) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s %s\n", s.Metric, s.Focus)
-	fmt.Fprintf(&b, "  all: |%s| total=%.6g (bin %v)\n", s.agg.Render(width), s.agg.Total(), s.agg.BinWidth())
-	for _, p := range s.Procs() {
-		h := s.perProc[p]
-		fmt.Fprintf(&b, "  %-16s |%s| total=%.6g\n", p+":", h.Render(width), h.Total())
-	}
-	return b.String()
 }

@@ -5,17 +5,9 @@ import (
 	"testing"
 
 	"pperf/internal/daemon"
-	"pperf/internal/metric"
 	"pperf/internal/resource"
 	"pperf/internal/sim"
 )
-
-// metricHistogram/newH keep the white-box test setup terse.
-type metricHistogram = metric.Histogram
-
-func newH(fe *FrontEnd) *metric.Histogram {
-	return metric.NewHistogram(fe.NumBins, fe.BinWidth)
-}
 
 func sample(metric string, f resource.Focus, proc string, t sim.Time, delta float64) daemon.Sample {
 	return daemon.Sample{Metric: metric, Focus: f, Proc: proc, Time: t, Delta: delta}
@@ -24,12 +16,9 @@ func sample(metric string, f resource.Focus, proc string, t sim.Time, delta floa
 func TestSamplesAggregateAndPerProc(t *testing.T) {
 	fe := New()
 	f := resource.WholeProgram()
-	s := &Series{Metric: "m", Focus: f, agg: newH(fe), perProc: map[string]*hist{}, fe: fe}
-	_ = s
-	// Use the public path: create the series via the series map directly.
-	fe.series[seriesKey("m", f)] = &Series{
-		Metric: "m", Focus: f, agg: newH(fe), perProc: map[string]*hist{}, fe: fe,
-	}
+	// Register the series without daemons via the view (the daemon fan-out
+	// of EnableMetric is irrelevant to ingest behaviour).
+	fe.RegisterSeries("m", f)
 	fe.Samples([]daemon.Sample{
 		sample("m", f, "p0", sim.Time(1*sim.Second), 5),
 		sample("m", f, "p1", sim.Time(1*sim.Second), 3),
@@ -51,9 +40,6 @@ func TestSamplesAggregateAndPerProc(t *testing.T) {
 	// Samples for an unknown series are dropped harmlessly.
 	fe.Samples([]daemon.Sample{sample("ghost", f, "p0", 0, 1)})
 }
-
-// hist/newH aliases keep test setup terse.
-type hist = metricHistogram
 
 func TestUpdatesBuildHierarchy(t *testing.T) {
 	fe := New()
@@ -90,9 +76,7 @@ func TestUpdatesBuildHierarchy(t *testing.T) {
 func TestExportCSV(t *testing.T) {
 	fe := New()
 	f := resource.WholeProgram()
-	fe.series[seriesKey("m", f)] = &Series{
-		Metric: "m", Focus: f, agg: newH(fe), perProc: map[string]*hist{}, fe: fe,
-	}
+	fe.RegisterSeries("m", f)
 	fe.Samples([]daemon.Sample{
 		sample("m", f, "p0", sim.Time(100*sim.Millisecond), 4),
 		sample("m", f, "p1", sim.Time(300*sim.Millisecond), 6),

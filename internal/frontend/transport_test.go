@@ -96,9 +96,7 @@ func TestTCPTransportGivesUpAfterMaxAttempts(t *testing.T) {
 func TestListenerDedupesReplayedFrames(t *testing.T) {
 	fe := New()
 	f := resource.WholeProgram()
-	fe.series[seriesKey("m", f)] = &Series{
-		Metric: "m", Focus: f, agg: newH(fe), perProc: map[string]*hist{}, fe: fe,
-	}
+	fe.RegisterSeries("m", f)
 	l, err := fe.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

@@ -8,10 +8,12 @@ import (
 	"pperf/internal/consultant"
 	"pperf/internal/core"
 	"pperf/internal/daemon"
+	"pperf/internal/datasource"
 	"pperf/internal/faults"
 	"pperf/internal/frontend"
 	"pperf/internal/mpi"
 	"pperf/internal/resource"
+	"pperf/internal/session"
 	"pperf/internal/sim"
 	"pperf/internal/trace"
 )
@@ -40,6 +42,11 @@ type RunOptions struct {
 	// Trace arms the event-tracing subsystem (nil = no tracing, runs are
 	// byte-identical to a build without trace support).
 	Trace *trace.Config
+	// Record, when non-nil, captures the run's analysis-plane event stream
+	// into a session archive replayable with Replay (nil = no recording,
+	// runs are byte-identical to a build without session support). Run
+	// finalizes the recorder's header; the caller saves it.
+	Record *session.Recorder
 }
 
 // ScaledPCConfig is the Performance Consultant configuration used for the
@@ -58,7 +65,12 @@ type Result struct {
 	Impl    mpi.ImplKind
 	Params  Params
 	Session *core.Session
-	PC      *consultant.Consultant
+	// Source is the analysis plane the run's findings were (or, for a
+	// replayed archive, are) read from: the live front end or a
+	// ReplaySource. Judge and the CLI query through it so they work
+	// identically on live and replayed results.
+	Source datasource.DataSource
+	PC     *consultant.Consultant
 	// Verification series enabled for the program's expected totals.
 	BytesSent *frontend.Series
 	PutOps    *frontend.Series
@@ -69,6 +81,9 @@ type Result struct {
 	Extra map[string]*frontend.Series
 	// RunTime is the program's virtual wall-clock duration.
 	RunTime sim.Time
+	// ProbeExecs totals probe executions across daemons (carried on the
+	// Result so replayed runs can report it without a live Session).
+	ProbeExecs int64
 	// Coverage is the fraction of processes still reporting at the end of
 	// the run (1.0 for a healthy run; < 1.0 after injected failures).
 	Coverage float64
@@ -114,6 +129,18 @@ func Run(name string, opt RunOptions) (*Result, error) {
 	dcfg := daemon.DefaultConfig()
 	dcfg.SampleInterval = 50 * sim.Millisecond
 	dcfg.Spawn = opt.Spawn
+	// The effective Consultant configuration, hoisted so recording can
+	// archive it even though the Consultant itself starts after launch.
+	pcCfg := ScaledPCConfig()
+	if opt.PC != nil {
+		pcCfg = *opt.PC
+	}
+	if name == "diffuse-procedure" && opt.PC == nil {
+		// §5.1.6: the 25%-per-process bottleneck needs the CPU
+		// threshold lowered to 0.2 before the Consultant reports it.
+		pcCfg.CPUThreshold = 0.2
+	}
+
 	s, err := core.NewSession(core.Options{
 		Impl:        opt.Impl,
 		Nodes:       opt.Nodes,
@@ -123,24 +150,27 @@ func Run(name string, opt RunOptions) (*Result, error) {
 		BinWidth:    50 * sim.Millisecond,
 		Faults:      opt.Faults,
 		Trace:       opt.Trace,
+		Recorder:    opt.Record,
 	})
 	if err != nil {
 		return nil, err
 	}
 	defer s.Close()
 
-	res := &Result{Program: name, Impl: opt.Impl, Params: params, Session: s}
+	res := &Result{Program: name, Impl: opt.Impl, Params: params, Session: s, Source: s.FE}
 
 	// The spawn-based programs need an implementation with dynamic process
 	// creation, as §5.2.2 notes (the paper uses only LAM for them).
 	if strings.HasPrefix(name, "spawn") && !s.World.Impl.SupportsSpawn {
 		res.Unsupported = &mpi.ErrUnsupported{Impl: opt.Impl, Feature: "dynamic process creation"}
+		finishRecording(opt, res, pcCfg)
 		return res, nil
 	}
 	// Passive-target programs were unimplementable in 2004; they run only
 	// under the Reference personality (§5.2.1.1).
 	if entry.NeedsPassive && !s.World.Impl.SupportsPassiveTarget {
 		res.Unsupported = &mpi.ErrUnsupported{Impl: opt.Impl, Feature: "passive target synchronization"}
+		finishRecording(opt, res, pcCfg)
 		return res, nil
 	}
 
@@ -176,15 +206,6 @@ func Run(name string, opt RunOptions) (*Result, error) {
 		return nil, err
 	}
 	if !opt.DisablePC {
-		pcCfg := ScaledPCConfig()
-		if opt.PC != nil {
-			pcCfg = *opt.PC
-		}
-		if name == "diffuse-procedure" && opt.PC == nil {
-			// §5.1.6: the 25%-per-process bottleneck needs the CPU
-			// threshold lowered to 0.2 before the Consultant reports it.
-			pcCfg.CPUThreshold = 0.2
-		}
 		res.PC = consultant.New(s.FE, s.Eng, pcCfg)
 		if err := res.PC.Start(); err != nil {
 			return nil, err
@@ -194,11 +215,13 @@ func Run(name string, opt RunOptions) (*Result, error) {
 		return nil, err
 	}
 	res.RunTime = s.Eng.Now()
+	res.ProbeExecs = s.ProbeExecutions()
 	res.Coverage = s.FE.Coverage()
 	if s.Injector != nil {
 		res.FaultLog = s.Injector.Log()
 	}
 	res.Timeline = s.FE.Timeline()
+	finishRecording(opt, res, pcCfg)
 	return res, nil
 }
 
@@ -304,7 +327,7 @@ func Judge(res *Result) *Verdict {
 		want(findSync("MPI_Allreduce"), "found MPI_Allreduce", "MPI_Allreduce not found")
 	case "allcount":
 		// The totals checks above are the test.
-		want(res.Session.FE.Hierarchy().FindPath("/SyncObject/Window/0-1") != nil,
+		want(res.Source.Hierarchy().FindPath("/SyncObject/Window/0-1") != nil,
 			"window incorporated into the resource hierarchy", "window resource missing")
 	case "wincreate-blast":
 		judgeWincreateBlast(res, v)
@@ -338,7 +361,7 @@ func Judge(res *Result) *Verdict {
 				"message-passing sync from LAM's Isend/Waitall fence", "LAM fence message traffic not found")
 		}
 		named := false
-		res.Session.FE.Hierarchy().Root().Walk(func(n *resource.Node) {
+		res.Source.Hierarchy().Root().Walk(func(n *resource.Node) {
 			if n.DisplayName() == "ParentChildWindow" {
 				named = true
 			}
@@ -367,7 +390,7 @@ func Judge(res *Result) *Verdict {
 }
 
 func judgeWincreateBlast(res *Result, v *Verdict) {
-	h := res.Session.FE.Hierarchy()
+	h := res.Source.Hierarchy()
 	winRoot := h.Find(resource.SyncObject, resource.Window)
 	total, retired := 0, 0
 	seen := map[string]bool{}
@@ -397,7 +420,7 @@ func judgeWincreateBlast(res *Result, v *Verdict) {
 
 func judgeSpawncount(res *Result, v *Verdict) {
 	count := 0
-	res.Session.FE.Hierarchy().Find(resource.Machine).Walk(func(n *resource.Node) {
+	res.Source.Hierarchy().Find(resource.Machine).Walk(func(n *resource.Node) {
 		if strings.Contains(n.Name(), "spawncount-child{") {
 			count++
 		}

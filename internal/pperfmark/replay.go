@@ -1,0 +1,180 @@
+package pperfmark
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"pperf/internal/consultant"
+	"pperf/internal/frontend"
+	"pperf/internal/mpi"
+	"pperf/internal/resource"
+	"pperf/internal/session"
+	"pperf/internal/sim"
+)
+
+// runInfo is the run description a recording stores in the archive
+// header's Extra payload: everything Replay needs to re-drive the
+// Performance Consultant against the recorded event stream, plus the
+// live-only facts (fault log, probe counts) a replay cannot recompute.
+type runInfo struct {
+	Program string
+	Impl    mpi.ImplKind
+	Params  Params
+	Seed    uint64
+	Metrics []string
+
+	DisablePC bool
+	PC        consultant.Config
+
+	Traced bool
+
+	RunTime    sim.Time
+	ProbeExecs int64
+	FaultLog   []string
+
+	// Unsupported carries the live run's "cannot run at all" message
+	// (spawn on MPICH, passive target outside Reference), so replaying
+	// such an archive reproduces the skip verdict.
+	Unsupported string
+}
+
+// finishRecording stamps the archived run's description into the
+// recorder's header. A no-op when the run is not recording.
+func finishRecording(opt RunOptions, res *Result, pcCfg consultant.Config) {
+	rec := opt.Record
+	if rec == nil {
+		return
+	}
+	info := runInfo{
+		Program:    res.Program,
+		Impl:       res.Impl,
+		Params:     res.Params,
+		Seed:       opt.Seed,
+		Metrics:    opt.Metrics,
+		DisablePC:  opt.DisablePC,
+		PC:         pcCfg,
+		Traced:     opt.Trace != nil,
+		RunTime:    res.RunTime,
+		ProbeExecs: res.ProbeExecs,
+		FaultLog:   res.FaultLog,
+	}
+	if res.Unsupported != nil {
+		info.Unsupported = res.Unsupported.Error()
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&info); err != nil {
+		// runInfo is all value types; an encode failure is a programming
+		// error worth failing loudly on, not a recoverable condition.
+		panic(fmt.Sprintf("pperfmark: encode run info: %v", err))
+	}
+	rec.SetExtra(buf.Bytes())
+	rec.SetMeta("program", res.Program)
+	rec.SetMeta("impl", res.Impl.String())
+	rec.SetMeta("seed", fmt.Sprintf("%d", opt.Seed))
+}
+
+// Replay re-runs the analysis plane of a recorded session offline: it
+// rebuilds the DataSource view from the archive's event stream, re-drives
+// the Performance Consultant with the recorded configuration on a fresh
+// virtual clock, and returns a Result equivalent to the live one — same
+// findings, same series, same hierarchy, same timeline — without
+// simulating the cluster, the MPI implementation, or the daemons.
+func Replay(a *session.Archive) (*Result, error) {
+	if len(a.Header.Extra) == 0 {
+		return nil, fmt.Errorf("pperfmark: archive carries no run description (not recorded by this harness?)")
+	}
+	var info runInfo
+	if err := gob.NewDecoder(bytes.NewReader(a.Header.Extra)).Decode(&info); err != nil {
+		return nil, fmt.Errorf("pperfmark: corrupt run description in archive: %v", err)
+	}
+
+	res := &Result{
+		Program:    info.Program,
+		Impl:       info.Impl,
+		Params:     info.Params,
+		RunTime:    info.RunTime,
+		ProbeExecs: info.ProbeExecs,
+		FaultLog:   info.FaultLog,
+	}
+	if info.Unsupported != "" {
+		res.Unsupported = fmt.Errorf("%s", info.Unsupported)
+		return res, nil
+	}
+	entry := Get(info.Program)
+	if entry == nil {
+		return nil, fmt.Errorf("pperfmark: archive records unknown program %q", info.Program)
+	}
+
+	rs := session.NewReplaySource(a)
+	if info.Traced {
+		// A traced live run has a timeline even if no shards arrived.
+		rs.EnsureTimeline()
+	}
+	res.Source = rs
+
+	// Re-enable the verification instrumentation in the live order; the
+	// replay source serves each request from the recorded enables.
+	whole := resource.WholeProgram()
+	enable := func(dst **frontend.Series, expect func(Params) float64, metricName string) error {
+		if expect == nil {
+			return nil
+		}
+		sr, err := rs.EnableMetric(metricName, whole)
+		if err != nil {
+			return err
+		}
+		*dst = sr
+		return nil
+	}
+	for _, e := range []struct {
+		dst    **frontend.Series
+		expect func(Params) float64
+		metric string
+	}{
+		{&res.BytesSent, entry.ExpectedBytesSent, "msg_bytes_sent"},
+		{&res.PutOps, entry.ExpectedPutOps, "rma_put_ops"},
+		{&res.GetOps, entry.ExpectedGetOps, "rma_get_ops"},
+		{&res.AccOps, entry.ExpectedAccOps, "rma_acc_ops"},
+		{&res.RMABytes, entry.ExpectedRMABytes, "rma_bytes"},
+	} {
+		if err := enable(e.dst, e.expect, e.metric); err != nil {
+			return nil, err
+		}
+	}
+	res.Extra = map[string]*frontend.Series{}
+	for _, m := range info.Metrics {
+		sr, err := rs.EnableMetric(m, whole)
+		if err != nil {
+			return nil, err
+		}
+		res.Extra[m] = sr
+	}
+
+	// A fresh engine paces the Consultant exactly as the live one did:
+	// evaluations fire on the same virtual-time grid, and each calls
+	// Sync, which advances the replay to the matching recorded barrier.
+	eng := sim.NewEngine(info.Seed)
+	if !info.DisablePC {
+		res.PC = consultant.New(rs, eng, info.PC)
+		if err := res.PC.Start(); err != nil {
+			return nil, err
+		}
+	}
+	// The replay clock: a single proc sleeping for the recorded runtime
+	// keeps the engine alive through the last live evaluation instant
+	// (scheduled callbacks at a time T fire before a proc resuming at T).
+	eng.StartProc("replay-clock", func(p *sim.Proc) {
+		p.Sleep(sim.Duration(info.RunTime))
+	})
+	if err := eng.Run(); err != nil {
+		return nil, err
+	}
+	// Apply the tail recorded after the last barrier (end-of-run sample
+	// flushes, trace flushes, undelivered-span accounting).
+	rs.Drain()
+
+	res.Coverage = rs.Coverage()
+	res.Timeline = rs.Timeline()
+	return res, nil
+}

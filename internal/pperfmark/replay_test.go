@@ -1,0 +1,210 @@
+package pperfmark
+
+// End-to-end record/replay equivalence: a replayed archive must reproduce
+// the live session's entire analysis-plane output — Consultant report,
+// judgement, query-plane state, Perfetto export — byte for byte.
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+
+	"pperf/internal/datasource"
+	"pperf/internal/faults"
+	"pperf/internal/mpi"
+	"pperf/internal/session"
+	"pperf/internal/trace"
+)
+
+// snapshot renders everything a consumer can observe about a Result
+// through its DataSource: the full query-plane output plus the rendered
+// reports. Live and replayed snapshots of the same session must be equal.
+func snapshot(t *testing.T, res *Result) string {
+	t.Helper()
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "program=%s impl=%s runtime=%v probes=%d coverage=%.4f\n",
+		res.Program, res.Impl, res.RunTime, res.ProbeExecs, res.Coverage)
+	for _, ev := range res.FaultLog {
+		fmt.Fprintln(&b, "fault:", ev)
+	}
+	if res.PC != nil {
+		b.WriteString(res.PC.Render())
+	}
+	ds := res.Source
+	b.WriteString(ds.Hierarchy().Render())
+	fmt.Fprintf(&b, "procs=%d live=%d lost=%d degradation=%q\n",
+		ds.ProcessCount(), ds.LiveProcessCount(), ds.LostProcessCount(), ds.DegradationSummary())
+	for _, p := range ds.Processes() {
+		fmt.Fprintf(&b, "proc %s node=%s started=%v exited=%v end=%v lost=%v\n",
+			p.Name, p.Node, p.Started, p.Exited, p.EndTime, p.Lost)
+	}
+	// Every verification/extra series, including its full per-bin CSV.
+	csv := ds.(interface {
+		ExportCSV(s *datasource.Series) string
+	})
+	series := map[string]*datasource.Series{
+		"BytesSent": res.BytesSent, "PutOps": res.PutOps, "GetOps": res.GetOps,
+		"AccOps": res.AccOps, "RMABytes": res.RMABytes,
+	}
+	for m, sr := range res.Extra {
+		series["extra:"+m] = sr
+	}
+	names := make([]string, 0, len(series))
+	for n := range series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		sr := series[n]
+		if sr == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "series %s total=%.4f last=%v\n%s", n, sr.Total(), sr.LastSampleTime(), csv.ExportCSV(sr))
+	}
+	// The judged verdict.
+	v := Judge(res)
+	fmt.Fprintf(&b, "verdict pass=%v paper=%s details=%q problems=%q\n", v.Pass, v.PaperResult, v.Details, v.Problems)
+	// The Perfetto export, counter tracks included.
+	if res.Timeline != nil {
+		var tr bytes.Buffer
+		if err := trace.WriteChromeWith(&tr, res.Timeline, ds.CounterTracks()); err != nil {
+			t.Fatal(err)
+		}
+		b.Write(tr.Bytes())
+	}
+	return b.String()
+}
+
+// recordAndReplay runs the program live with a recorder attached, replays
+// the archive through a save/load cycle, and returns both results.
+func recordAndReplay(t *testing.T, name string, opt RunOptions) (*Result, *Result) {
+	t.Helper()
+	rec := session.NewRecorder()
+	opt.Record = rec
+	live, err := Run(name, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/s.pparch"
+	if err := rec.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	a, err := session.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := Replay(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return live, replayed
+}
+
+func diffSnapshots(t *testing.T, what, live, replayed string) {
+	t.Helper()
+	if live == replayed {
+		return
+	}
+	// Locate the first divergence for a readable failure.
+	i := 0
+	for i < len(live) && i < len(replayed) && live[i] == replayed[i] {
+		i++
+	}
+	lo := i - 120
+	if lo < 0 {
+		lo = 0
+	}
+	end := func(s string) string {
+		if i+120 < len(s) {
+			return s[lo : i+120]
+		}
+		return s[lo:]
+	}
+	t.Errorf("%s: replay diverges from live at byte %d:\nlive    …%q\nreplay  …%q", what, i, end(live), end(replayed))
+}
+
+func TestReplayReproducesHealthyRun(t *testing.T) {
+	live, replayed := recordAndReplay(t, "small-messages", RunOptions{
+		Impl: mpi.LAM, Seed: 7, Trace: &trace.Config{},
+		Metrics: []string{"msgs_sent"},
+	})
+	diffSnapshots(t, "small-messages", snapshot(t, live), snapshot(t, replayed))
+	if replayed.Session != nil {
+		t.Error("replayed result claims a live session")
+	}
+	if replayed.Timeline == nil {
+		t.Error("traced run replayed without a timeline")
+	}
+}
+
+func TestReplayReproducesFaultRun(t *testing.T) {
+	plan, err := faults.Parse("t=2s kill-node node1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, replayed := recordAndReplay(t, "small-messages", RunOptions{
+		Impl: mpi.LAM, Seed: 7, Faults: plan,
+	})
+	liveSnap, repSnap := snapshot(t, live), snapshot(t, replayed)
+	diffSnapshots(t, "small-messages+faults", liveSnap, repSnap)
+	// The degraded run's partial-data markers must survive replay.
+	if !bytes.Contains([]byte(liveSnap), []byte("[partial data]")) {
+		t.Error("fault run produced no [partial data] markers")
+	}
+	if live.Coverage >= 1 || replayed.Coverage != live.Coverage {
+		t.Errorf("coverage live=%v replayed=%v", live.Coverage, replayed.Coverage)
+	}
+	if len(replayed.FaultLog) == 0 {
+		t.Error("fault log lost in replay")
+	}
+}
+
+func TestReplayUnsupportedRun(t *testing.T) {
+	// spawncount cannot run under MPICH; the skip must replay too.
+	live, replayed := recordAndReplay(t, "spawncount", RunOptions{Impl: mpi.MPICH})
+	if live.Unsupported == nil || replayed.Unsupported == nil {
+		t.Fatalf("unsupported: live=%v replayed=%v", live.Unsupported, replayed.Unsupported)
+	}
+	if live.Unsupported.Error() != replayed.Unsupported.Error() {
+		t.Errorf("messages differ: %q vs %q", live.Unsupported, replayed.Unsupported)
+	}
+}
+
+// TestQueryPlaneDeterministic is the determinism audit's regression test:
+// two identically-seeded live runs must produce identical full query
+// output (hierarchy render, process lists, series CSVs, Consultant
+// report, Perfetto export) — no map-iteration order may leak through.
+func TestQueryPlaneDeterministic(t *testing.T) {
+	run := func() string {
+		res, err := Run("small-messages", RunOptions{Impl: mpi.LAM, Seed: 7, Trace: &trace.Config{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return snapshot(t, res)
+	}
+	diffSnapshots(t, "determinism", run(), run())
+}
+
+// BenchmarkRunRecorderCold measures a full judged run with no recorder
+// attached — the baseline showing the recording hooks cost nothing when
+// cold (every hook is one nil test). Compare with BenchmarkRunRecording.
+func BenchmarkRunRecorderCold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Run("small-messages", RunOptions{Impl: mpi.LAM, Seed: 7}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunRecording(b *testing.B) {
+	var events int
+	for i := 0; i < b.N; i++ {
+		rec := session.NewRecorder()
+		if _, err := Run("small-messages", RunOptions{Impl: mpi.LAM, Seed: 7, Record: rec}); err != nil {
+			b.Fatal(err)
+		}
+		events += rec.EventCount()
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}

@@ -1,0 +1,327 @@
+// Package session records and replays the analysis plane's event stream.
+//
+// A live run attaches a Recorder to the front end (it implements
+// datasource.Recorder); every report the front end ingests — sample
+// batches, resource updates, metric enables, liveness verdicts, trace
+// shards, undelivered-span accounting — plus the Consultant's read
+// barriers is captured in order into a versioned on-disk archive. A
+// ReplaySource (replay.go) then re-presents the archive through the same
+// DataSource interface the live front end implements, so the Performance
+// Consultant can be re-run offline and reproduce the live findings
+// byte for byte.
+//
+// Archive format (see REPLAY.md):
+//
+//	6 bytes  magic "PPARCH"
+//	gob      Header{Version, NumEvents, NumBins, BinWidth, Meta, Extra}
+//	gob      Event × NumEvents
+//
+// The header carries the event count so truncation — even truncation that
+// happens to land exactly on an event boundary — is detected at load time
+// instead of silently shortening the session.
+package session
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"pperf/internal/datasource"
+	"pperf/internal/resource"
+	"pperf/internal/sim"
+	"pperf/internal/trace"
+)
+
+// magic identifies a pperf session archive.
+var magic = []byte("PPARCH")
+
+// Version is the archive format version this build reads and writes.
+// Bump it on any incompatible change to Header or Event; Load refuses
+// archives whose version differs, with an error naming both versions.
+const Version = 1
+
+// Header is the archive preamble.
+type Header struct {
+	// Version is the format version the archive was written with.
+	Version int
+	// NumEvents is the number of Event records following the header; a
+	// stream with fewer is truncated, one with more is corrupt.
+	NumEvents int
+	// NumBins and BinWidth mirror the front end's histogram configuration
+	// so a replayed View folds samples into identical bins.
+	NumBins  int
+	BinWidth sim.Duration
+	// Meta holds free-form descriptive pairs (program name, seed, …) for
+	// humans and tools that inspect archives without replaying them.
+	Meta map[string]string
+	// Extra is an opaque payload for the recording harness; pperfmark
+	// stores the gob-encoded run parameters needed to re-drive the
+	// Consultant here.
+	Extra []byte
+}
+
+// EventKind discriminates the Event union.
+type EventKind int
+
+const (
+	// EvSamples is a batch of sampled metric deltas.
+	EvSamples EventKind = iota
+	// EvUpdate is one resource-update report.
+	EvUpdate
+	// EvEnable records a metric-enable outcome (Err empty on success).
+	EvEnable
+	// EvStale is a liveness verdict: the named daemon went stale at Time.
+	EvStale
+	// EvShard is one streamed trace shard.
+	EvShard
+	// EvUndelivered is end-of-run undelivered-span accounting for Proc.
+	EvUndelivered
+	// EvBarrier is a consumer read barrier (one per Consultant
+	// evaluation); replay applies events up to the next barrier so the
+	// k-th replayed evaluation sees exactly the state the k-th live
+	// evaluation saw.
+	EvBarrier
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvSamples:
+		return "samples"
+	case EvUpdate:
+		return "update"
+	case EvEnable:
+		return "enable"
+	case EvStale:
+		return "stale"
+	case EvShard:
+		return "shard"
+	case EvUndelivered:
+		return "undelivered"
+	case EvBarrier:
+		return "barrier"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one record of the analysis-plane stream. Only the fields for
+// its Kind are meaningful; the flat union keeps the gob stream to a
+// single concrete type.
+type Event struct {
+	Kind EventKind
+
+	Samples []datasource.Sample // EvSamples
+	Update  datasource.Update   // EvUpdate
+
+	Metric string         // EvEnable
+	Focus  resource.Focus // EvEnable
+	Err    string         // EvEnable: daemon refusal message, "" = success
+
+	Daemon string   // EvStale
+	Time   sim.Time // EvStale
+
+	Shard trace.Shard // EvShard
+
+	Proc string // EvUndelivered
+	N    int64  // EvUndelivered
+}
+
+// Archive is a fully loaded session recording.
+type Archive struct {
+	Header Header
+	Events []Event
+}
+
+// Recorder buffers the event stream in memory and writes the archive on
+// Save. It implements datasource.Recorder; attach it with
+// FrontEnd.SetRecorder (core.Options.Recorder does this) before Launch so
+// the stream is complete.
+type Recorder struct {
+	mu     sync.Mutex
+	header Header
+	events []Event
+}
+
+var _ datasource.Recorder = (*Recorder)(nil)
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{header: Header{Version: Version, Meta: map[string]string{}}}
+}
+
+// SetHistogram records the front end's histogram configuration so replay
+// folds into identical bins.
+func (r *Recorder) SetHistogram(numBins int, binWidth sim.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.header.NumBins, r.header.BinWidth = numBins, binWidth
+}
+
+// SetMeta stores one descriptive key/value pair in the header.
+func (r *Recorder) SetMeta(k, v string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.header.Meta[k] = v
+}
+
+// SetExtra stores the harness's opaque payload in the header.
+func (r *Recorder) SetExtra(b []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.header.Extra = b
+}
+
+// EventCount returns the number of events captured so far.
+func (r *Recorder) EventCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+func (r *Recorder) append(ev Event) {
+	r.mu.Lock()
+	r.events = append(r.events, ev)
+	r.mu.Unlock()
+}
+
+// RecordSamples captures a sample batch. The batch is copied: the caller
+// keeps ownership of its slice.
+func (r *Recorder) RecordSamples(batch []datasource.Sample) {
+	cp := make([]datasource.Sample, len(batch))
+	copy(cp, batch)
+	r.append(Event{Kind: EvSamples, Samples: cp})
+}
+
+// RecordUpdate captures one resource-update report.
+func (r *Recorder) RecordUpdate(u datasource.Update) {
+	r.append(Event{Kind: EvUpdate, Update: u})
+}
+
+// RecordEnable captures a metric-enable outcome.
+func (r *Recorder) RecordEnable(metricName string, focus resource.Focus, errMsg string) {
+	r.append(Event{Kind: EvEnable, Metric: metricName, Focus: focus, Err: errMsg})
+}
+
+// RecordStale captures a liveness verdict.
+func (r *Recorder) RecordStale(daemonName string, t sim.Time) {
+	r.append(Event{Kind: EvStale, Daemon: daemonName, Time: t})
+}
+
+// RecordShard captures one trace shard.
+func (r *Recorder) RecordShard(sh trace.Shard) {
+	r.append(Event{Kind: EvShard, Shard: sh})
+}
+
+// RecordUndelivered captures undelivered-span accounting.
+func (r *Recorder) RecordUndelivered(proc string, n int64) {
+	r.append(Event{Kind: EvUndelivered, Proc: proc, N: n})
+}
+
+// RecordBarrier stamps a consumer read barrier into the stream.
+func (r *Recorder) RecordBarrier() {
+	r.append(Event{Kind: EvBarrier})
+}
+
+// Archive snapshots the recording as an in-memory archive (the events
+// slice is shared, not copied: do not keep recording into r afterwards).
+func (r *Recorder) Archive() *Archive {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.header
+	h.NumEvents = len(r.events)
+	return &Archive{Header: h, Events: r.events}
+}
+
+// Encode serializes the archive to w.
+func (r *Recorder) Encode(w io.Writer) error {
+	a := r.Archive()
+	if _, err := w.Write(magic); err != nil {
+		return err
+	}
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(&a.Header); err != nil {
+		return fmt.Errorf("session: encode header: %w", err)
+	}
+	for i := range a.Events {
+		if err := enc.Encode(&a.Events[i]); err != nil {
+			return fmt.Errorf("session: encode event %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Save writes the archive to path (atomically, via a temp file rename).
+func (r *Recorder) Save(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := r.Encode(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Read parses a session archive from rd. It validates the magic, the
+// format version, and the event count, returning descriptive errors (not
+// panics) for truncated, corrupt, or incompatible input.
+func Read(rd io.Reader) (*Archive, error) {
+	got := make([]byte, len(magic))
+	if _, err := io.ReadFull(rd, got); err != nil {
+		return nil, fmt.Errorf("session: not a pperf session archive (short file: %v)", err)
+	}
+	if !bytes.Equal(got, magic) {
+		return nil, errors.New("session: not a pperf session archive (bad magic)")
+	}
+	dec := gob.NewDecoder(rd)
+	var h Header
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("session: corrupt archive header: %v", err)
+	}
+	if h.Version != Version {
+		return nil, fmt.Errorf("session: archive format version %d; this build reads version %d", h.Version, Version)
+	}
+	if h.NumEvents < 0 {
+		return nil, fmt.Errorf("session: corrupt archive header: negative event count %d", h.NumEvents)
+	}
+	a := &Archive{Header: h, Events: make([]Event, 0, h.NumEvents)}
+	for i := 0; i < h.NumEvents; i++ {
+		var ev Event
+		if err := dec.Decode(&ev); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return nil, fmt.Errorf("session: truncated archive: %d of %d events present", i, h.NumEvents)
+			}
+			return nil, fmt.Errorf("session: corrupt archive at event %d of %d: %v", i, h.NumEvents, err)
+		}
+		a.Events = append(a.Events, ev)
+	}
+	// Anything after the declared events means the count lies (or two
+	// archives were concatenated); refuse rather than guess.
+	var extra Event
+	if err := dec.Decode(&extra); err == nil {
+		return nil, fmt.Errorf("session: corrupt archive: data beyond the declared %d events", h.NumEvents)
+	} else if err != io.EOF {
+		return nil, fmt.Errorf("session: corrupt archive trailer: %v", err)
+	}
+	return a, nil
+}
+
+// Load reads a session archive from path.
+func Load(path string) (*Archive, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

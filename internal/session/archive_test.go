@@ -1,0 +1,157 @@
+package session
+
+import (
+	"bytes"
+	"encoding/gob"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pperf/internal/datasource"
+	"pperf/internal/resource"
+	"pperf/internal/sim"
+	"pperf/internal/trace"
+)
+
+// testRecorder returns a recorder holding one event of every kind.
+func testRecorder() *Recorder {
+	r := NewRecorder()
+	r.SetHistogram(100, 50*sim.Millisecond)
+	r.SetMeta("program", "small-messages")
+	r.SetExtra([]byte{1, 2, 3})
+	f := resource.WholeProgram()
+	r.RecordEnable("msg_bytes_sent", f, "")
+	r.RecordUpdate(datasource.Update{Kind: datasource.UpAddResource, Path: "/Machine/node0/p0", Time: 1})
+	r.RecordSamples([]datasource.Sample{{Metric: "msg_bytes_sent", Focus: f, Proc: "p0", Time: 2, Delta: 5}})
+	r.RecordShard(trace.Shard{Daemon: "paradynd@node0", Proc: "p0", Node: "node0"})
+	r.RecordBarrier()
+	r.RecordStale("paradynd@node1", sim.Time(3*sim.Second))
+	r.RecordUndelivered("p1", 7)
+	return r
+}
+
+func TestArchiveRoundTrip(t *testing.T) {
+	r := testRecorder()
+	path := filepath.Join(t.TempDir(), "s.pparch")
+	if err := r.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	a, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Header.Version != Version || a.Header.NumBins != 100 || a.Header.BinWidth != 50*sim.Millisecond {
+		t.Errorf("header = %+v", a.Header)
+	}
+	if a.Header.Meta["program"] != "small-messages" || !bytes.Equal(a.Header.Extra, []byte{1, 2, 3}) {
+		t.Errorf("meta/extra = %+v", a.Header)
+	}
+	want := []EventKind{EvEnable, EvUpdate, EvSamples, EvShard, EvBarrier, EvStale, EvUndelivered}
+	if len(a.Events) != len(want) {
+		t.Fatalf("events = %d, want %d", len(a.Events), len(want))
+	}
+	for i, k := range want {
+		if a.Events[i].Kind != k {
+			t.Errorf("event %d kind = %v, want %v", i, a.Events[i].Kind, k)
+		}
+	}
+	if a.Events[2].Samples[0].Delta != 5 {
+		t.Errorf("sample round-trip: %+v", a.Events[2].Samples[0])
+	}
+}
+
+func TestRecordSamplesCopiesBatch(t *testing.T) {
+	r := NewRecorder()
+	batch := []datasource.Sample{{Metric: "m", Proc: "p0", Delta: 1}}
+	r.RecordSamples(batch)
+	batch[0].Delta = 99 // caller reuses its buffer
+	if got := r.Archive().Events[0].Samples[0].Delta; got != 1 {
+		t.Errorf("recorded delta = %v; recorder aliased the caller's batch", got)
+	}
+}
+
+// encodeArchive serializes the test recorder's archive to bytes.
+func encodeArchive(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := testRecorder().Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestArchiveRobustness(t *testing.T) {
+	full := encodeArchive(t)
+
+	versioned := func(v int) []byte {
+		var buf bytes.Buffer
+		buf.Write(magic)
+		if err := gob.NewEncoder(&buf).Encode(&Header{Version: v}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	cases := []struct {
+		name    string
+		data    []byte
+		wantErr string
+	}{
+		{"empty file", nil, "not a pperf session archive"},
+		{"short magic", full[:3], "not a pperf session archive"},
+		{"bad magic", append([]byte("NOTPPA"), full[6:]...), "bad magic"},
+		{"header cut mid-gob", full[:len(magic)+4], "corrupt archive header"},
+		{"garbage header", append(append([]byte{}, magic...), 0xde, 0xad, 0xbe, 0xef), "corrupt archive header"},
+		{"future version", versioned(Version + 41), "version 42"},
+		{"truncated mid-event", full[:len(full)-15], "truncated"},
+		{"trailing garbage", append(append([]byte{}, full...), 1, 2, 3), "corrupt archive trailer"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// A decode must fail descriptively, never panic.
+			a, err := Read(bytes.NewReader(tc.data))
+			if err == nil {
+				t.Fatalf("Read accepted %s (header %+v, %d events)", tc.name, a.Header, len(a.Events))
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("err = %q, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestTruncationAtEventBoundary covers the case a bare gob stream cannot
+// detect: the file ends cleanly but early. The header's event count
+// catches it.
+func TestTruncationAtEventBoundary(t *testing.T) {
+	full := encodeArchive(t)
+	// Find a prefix that decodes some-but-not-all events with a clean EOF
+	// by re-encoding a shorter event stream under the full header.
+	r := testRecorder()
+	a := r.Archive()
+	var buf bytes.Buffer
+	buf.Write(magic)
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(&a.Header); err != nil { // claims len(a.Events) events
+		t.Fatal(err)
+	}
+	for i := 0; i < len(a.Events)-2; i++ {
+		if err := enc.Encode(&a.Events[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := Read(bytes.NewReader(buf.Bytes()))
+	if err == nil || !strings.Contains(err.Error(), "truncated archive") {
+		t.Errorf("boundary truncation: err = %v, want truncated-archive error", err)
+	}
+	if len(buf.Bytes()) >= len(full) {
+		t.Fatal("test bug: boundary-truncated stream is not shorter than the full one")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "absent.pparch")); !os.IsNotExist(err) {
+		t.Errorf("err = %v, want not-exist", err)
+	}
+}

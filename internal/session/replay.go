@@ -1,0 +1,141 @@
+package session
+
+import (
+	"fmt"
+
+	"pperf/internal/datasource"
+	"pperf/internal/resource"
+	"pperf/internal/trace"
+)
+
+// ReplaySource re-presents a recorded session through the DataSource
+// interface. It embeds a datasource.View — the same query plane the live
+// front end uses — and fills it by applying archived events instead of
+// live daemon reports.
+//
+// Replay is driven by the read barriers the live run stamped into the
+// stream: each Sync call applies events up to and including the next
+// EvBarrier, so a consumer that calls Sync once per evaluation (the
+// Performance Consultant does) sees, on its k-th evaluation, exactly the
+// state the k-th live evaluation saw. Events recorded after the last
+// barrier (end-of-run flushes, undelivered-span accounting) are applied
+// by Drain.
+type ReplaySource struct {
+	*datasource.View
+
+	events []Event
+	pos    int
+
+	// enables indexes the recorded enable outcomes by series key
+	// (first occurrence wins): "" means the live enable succeeded, any
+	// other value is the error the live daemons returned.
+	enables map[string]string
+
+	timeline *trace.Timeline
+}
+
+// ReplaySource must satisfy the same contract the live front end does.
+var _ datasource.DataSource = (*ReplaySource)(nil)
+
+// NewReplaySource builds a replay source over a loaded archive.
+func NewReplaySource(a *Archive) *ReplaySource {
+	v := datasource.NewView()
+	v.NumBins = a.Header.NumBins
+	v.BinWidth = a.Header.BinWidth
+	rs := &ReplaySource{View: v, events: a.Events, enables: make(map[string]string)}
+	for i := range a.Events {
+		ev := &a.Events[i]
+		if ev.Kind != EvEnable {
+			continue
+		}
+		k := datasource.SeriesKey(ev.Metric, ev.Focus)
+		if _, ok := rs.enables[k]; !ok {
+			rs.enables[k] = ev.Err
+		}
+	}
+	return rs
+}
+
+// EnsureTimeline creates the (initially empty) trace timeline, matching a
+// live run that armed tracing: the live front end's timeline exists even
+// when zero shards arrive, so a replay of a traced run must expose one
+// too. Replay of an untraced run leaves Timeline nil — unless the archive
+// holds shard events, which lazily create it.
+func (rs *ReplaySource) EnsureTimeline() {
+	if rs.timeline == nil {
+		rs.timeline = trace.NewTimeline()
+	}
+}
+
+// Timeline returns the replayed trace timeline (nil when the recorded
+// session did not trace).
+func (rs *ReplaySource) Timeline() *trace.Timeline { return rs.timeline }
+
+// EnableMetric replays a metric enable. There are no daemons to
+// instrument: a request the live session answered is answered identically
+// (success registers the series, which subsequent Syncs fill from the
+// recorded samples; failure returns the recorded error), and a request
+// the live session never made cannot be served — the samples were never
+// collected.
+func (rs *ReplaySource) EnableMetric(metricName string, focus resource.Focus) (*datasource.Series, error) {
+	if s := rs.View.Series(metricName, focus); s != nil {
+		return s, nil
+	}
+	errMsg, ok := rs.enables[datasource.SeriesKey(metricName, focus)]
+	if !ok {
+		return nil, fmt.Errorf("session: metric %s at focus %s was not enabled in the recorded session", metricName, focus)
+	}
+	if errMsg != "" {
+		return nil, fmt.Errorf("%s", errMsg)
+	}
+	s, _ := rs.View.RegisterSeries(metricName, focus)
+	return s, nil
+}
+
+// DisableMetric is a no-op on replay: the recorded stream already
+// reflects every disable the live session performed (the samples simply
+// stop).
+func (rs *ReplaySource) DisableMetric(metricName string, focus resource.Focus) {}
+
+// Sync implements the DataSource read barrier: apply archived events up
+// to and including the next recorded barrier.
+func (rs *ReplaySource) Sync() {
+	for rs.pos < len(rs.events) {
+		ev := &rs.events[rs.pos]
+		rs.pos++
+		if ev.Kind == EvBarrier {
+			return
+		}
+		rs.apply(ev)
+	}
+}
+
+// Drain applies every remaining event — the tail recorded after the last
+// consumer barrier (end-of-run trace flushes, undelivered-span counts,
+// final sample batches). Call it after the replay clock finishes.
+func (rs *ReplaySource) Drain() {
+	for rs.pos < len(rs.events) {
+		rs.apply(&rs.events[rs.pos])
+		rs.pos++
+	}
+}
+
+func (rs *ReplaySource) apply(ev *Event) {
+	switch ev.Kind {
+	case EvSamples:
+		rs.View.ApplySamples(ev.Samples)
+	case EvUpdate:
+		rs.View.ApplyUpdate(ev.Update)
+	case EvStale:
+		rs.View.MarkDaemonStale(ev.Daemon, ev.Time)
+	case EvShard:
+		rs.EnsureTimeline()
+		rs.timeline.Ingest(ev.Shard)
+	case EvUndelivered:
+		rs.EnsureTimeline()
+		rs.timeline.NoteUndelivered(ev.Proc, ev.N)
+	case EvEnable, EvBarrier:
+		// EvEnable is consumed through the prebuilt index; a stray
+		// barrier here (inside Drain) carries no state.
+	}
+}

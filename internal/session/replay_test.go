@@ -1,0 +1,93 @@
+package session
+
+import (
+	"strings"
+	"testing"
+
+	"pperf/internal/datasource"
+	"pperf/internal/resource"
+	"pperf/internal/trace"
+)
+
+func TestReplaySyncAppliesUpToBarrier(t *testing.T) {
+	f := resource.WholeProgram()
+	r := NewRecorder()
+	r.RecordEnable("m", f, "")
+	r.RecordSamples([]datasource.Sample{{Metric: "m", Focus: f, Proc: "p0", Time: 1, Delta: 3}})
+	r.RecordBarrier()
+	r.RecordSamples([]datasource.Sample{{Metric: "m", Focus: f, Proc: "p0", Time: 2, Delta: 4}})
+	r.RecordBarrier()
+	r.RecordSamples([]datasource.Sample{{Metric: "m", Focus: f, Proc: "p0", Time: 3, Delta: 5}})
+
+	rs := NewReplaySource(r.Archive())
+	sr, err := rs.EnableMetric("m", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs.Sync()
+	if sr.Total() != 3 {
+		t.Errorf("after barrier 1: total = %v, want 3", sr.Total())
+	}
+	rs.Sync()
+	if sr.Total() != 7 {
+		t.Errorf("after barrier 2: total = %v, want 7", sr.Total())
+	}
+	// The tail past the last barrier is Drain's job.
+	rs.Sync()
+	if sr.Total() != 12 {
+		t.Errorf("final sync: total = %v, want 12", sr.Total())
+	}
+	rs.Drain() // idempotent once exhausted
+	if sr.Total() != 12 {
+		t.Errorf("drain after exhaustion: total = %v", sr.Total())
+	}
+}
+
+func TestReplayEnableSemantics(t *testing.T) {
+	f := resource.WholeProgram()
+	r := NewRecorder()
+	r.RecordEnable("good", f, "")
+	r.RecordEnable("refused", f, "daemon node1: unknown metric")
+	rs := NewReplaySource(r.Archive())
+
+	if _, err := rs.EnableMetric("good", f); err != nil {
+		t.Errorf("recorded success replayed as error: %v", err)
+	}
+	// Re-enabling an already-registered series succeeds, as live.
+	if _, err := rs.EnableMetric("good", f); err != nil {
+		t.Errorf("second enable: %v", err)
+	}
+	_, err := rs.EnableMetric("refused", f)
+	if err == nil || err.Error() != "daemon node1: unknown metric" {
+		t.Errorf("recorded failure replayed as %v", err)
+	}
+	_, err = rs.EnableMetric("never_enabled", f)
+	if err == nil || !strings.Contains(err.Error(), "not enabled in the recorded session") {
+		t.Errorf("unrecorded enable: err = %v", err)
+	}
+	// DisableMetric is a recorded-stream no-op; it must not unregister.
+	rs.DisableMetric("good", f)
+	if rs.Series("good", f) == nil {
+		t.Error("disable dropped the replayed series")
+	}
+}
+
+func TestReplayTimelinePresence(t *testing.T) {
+	r := NewRecorder()
+	r.RecordBarrier()
+	rs := NewReplaySource(r.Archive())
+	if rs.Timeline() != nil {
+		t.Error("untraced archive grew a timeline")
+	}
+	r.RecordShard(trace.Shard{Daemon: "paradynd@node0", Proc: "p0", Node: "node0"})
+	r.RecordUndelivered("p0", 2)
+	rs = NewReplaySource(r.Archive())
+	rs.Drain()
+	tl := rs.Timeline()
+	if tl == nil {
+		t.Fatal("shard events did not create the timeline")
+	}
+	if tl.Undelivered() != 2 {
+		t.Errorf("undelivered = %d, want 2", tl.Undelivered())
+	}
+}

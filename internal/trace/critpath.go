@@ -24,6 +24,15 @@ type CriticalPath struct {
 	// ByResource charges the same time to the process it was spent on
 	// ("(network)" for transit).
 	ByResource map[string]sim.Time
+	// Slack estimates, per traced function, how much the function could
+	// slow down before the critical path shifts. Functions charged on the
+	// path have zero slack by definition; an off-path function's slack is
+	// the smallest end-of-run idle tail among the processes executing it —
+	// the slowdown that would make one of those processes the new path
+	// end. It is the per-process idle-tail approximation, not a full
+	// what-if re-walk: it can overestimate when an interior wait edge
+	// would shift the path before the process's finish line does.
+	Slack map[string]sim.Time
 	// Steps is the number of walk steps taken; Truncated reports the
 	// safety cap fired (never in practice — edges strictly reduce time).
 	Steps     int
@@ -44,6 +53,7 @@ func Analyze(tl *Timeline) *CriticalPath {
 	cp := &CriticalPath{
 		ByFunc:     make(map[string]sim.Time),
 		ByResource: make(map[string]sim.Time),
+		Slack:      make(map[string]sim.Time),
 	}
 	tracks := make(map[string]*procTrack)
 	var endProc string
@@ -154,7 +164,41 @@ func Analyze(tl *Timeline) *CriticalPath {
 		charge(s.Name, proc, t-s.Start)
 		t = s.Start
 	}
+	computeSlack(cp, tracks)
 	return cp
+}
+
+// computeSlack fills cp.Slack: zero for every function charged on the
+// walked path, and for the rest the minimum end-of-run idle tail among the
+// processes that executed the function.
+func computeSlack(cp *CriticalPath, tracks map[string]*procTrack) {
+	for _, pt := range tracks {
+		if len(pt.spans) == 0 {
+			continue
+		}
+		var finish sim.Time
+		for _, s := range pt.spans {
+			if s.End > finish {
+				finish = s.End
+			}
+		}
+		tail := cp.Total - finish
+		seen := map[string]bool{}
+		for _, s := range pt.spans {
+			if seen[s.Name] {
+				continue
+			}
+			seen[s.Name] = true
+			if cur, ok := cp.Slack[s.Name]; !ok || tail < cur {
+				cp.Slack[s.Name] = tail
+			}
+		}
+	}
+	for fn, d := range cp.ByFunc {
+		if d > 0 && fn != "(app)" && fn != "(network)" {
+			cp.Slack[fn] = 0
+		}
+	}
 }
 
 // attribution is one sorted row for rendering.
@@ -220,5 +264,25 @@ func (cp *CriticalPath) Render() string {
 	}
 	section("function", cp.ByFunc)
 	section("resource", cp.ByResource)
+	if len(cp.Slack) > 0 {
+		b.WriteString("  slack (how much a function could slow before the path shifts):\n")
+		rows := make([]attribution, 0, len(cp.Slack))
+		for n, d := range cp.Slack {
+			rows = append(rows, attribution{n, d})
+		}
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].d != rows[j].d {
+				return rows[i].d < rows[j].d
+			}
+			return rows[i].name < rows[j].name
+		})
+		for _, a := range rows {
+			note := ""
+			if a.d == 0 {
+				note = "  (on critical path)"
+			}
+			fmt.Fprintf(&b, "    %-24s %10v%s\n", a.name, a.d, note)
+		}
+	}
 	return b.String()
 }

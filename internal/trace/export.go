@@ -26,12 +26,28 @@ type chromeEvent struct {
 }
 
 const (
-	ranksPid = 1 // process group for application rank tracks
-	toolPid  = 2 // process group for daemon/transport tracks
+	ranksPid   = 1 // process group for application rank tracks
+	toolPid    = 2 // process group for daemon/transport tracks
+	counterPid = 3 // process group for front-end histogram counter tracks
 )
 
 // usec converts virtual nanoseconds to trace-event microseconds.
 func usec(ns int64) float64 { return float64(ns) / 1e3 }
+
+// CounterTrack is one Perfetto counter track: a named value-over-time
+// series rendered next to the span tracks. The front end derives one per
+// whole-program metric series from its folding histograms.
+type CounterTrack struct {
+	Name   string
+	Points []CounterPoint
+}
+
+// CounterPoint is one counter sample: the metric's rate over the histogram
+// bin starting at TsNs.
+type CounterPoint struct {
+	TsNs  int64
+	Value float64
+}
 
 // WriteChrome renders the merged timeline as Chrome trace-event JSON: one
 // track per rank (pid 1) plus daemon/transport tracks (pid 2), complete
@@ -39,6 +55,13 @@ func usec(ns int64) float64 { return float64(ns) / 1e3 }
 // daemon activity, and flow ("s"/"f") events linking matched send→recv and
 // RMA origin→target pairs.
 func WriteChrome(w io.Writer, tl *Timeline) error {
+	return WriteChromeWith(w, tl, nil)
+}
+
+// WriteChromeWith is WriteChrome plus counter tracks (pid 3): each
+// CounterTrack becomes a "C"-phase series so histogram data lines up under
+// the span tracks in Perfetto.
+func WriteChromeWith(w io.Writer, tl *Timeline, counters []CounterTrack) error {
 	procs := tl.Procs()
 	type track struct{ pid, tid int }
 	tracks := make(map[string]track, len(procs))
@@ -115,6 +138,26 @@ func WriteChrome(w io.Writer, tl *Timeline) error {
 					Name: s.Name, Ts: usec(int64(s.End)), ID: s.Flow,
 				},
 			)
+		}
+	}
+
+	if len(counters) > 0 {
+		events = append(events, chromeEvent{
+			Ph: "M", Pid: counterPid, Name: "process_name",
+			Args: map[string]any{"name": "front-end histograms"},
+		})
+		for i, ct := range counters {
+			events = append(events, chromeEvent{
+				Ph: "M", Pid: counterPid, Tid: i, Name: "thread_sort_index",
+				Args: map[string]any{"sort_index": i},
+			})
+			for _, p := range ct.Points {
+				events = append(events, chromeEvent{
+					Ph: "C", Cat: "histogram", Pid: counterPid, Tid: i,
+					Name: ct.Name, Ts: usec(p.TsNs),
+					Args: map[string]any{"value": p.Value},
+				})
+			}
 		}
 	}
 

@@ -264,3 +264,85 @@ func TestTracerDropsByProc(t *testing.T) {
 		t.Errorf("Recorders(n0) = %d, want 2", got)
 	}
 }
+
+func TestWriteChromeCounterTracks(t *testing.T) {
+	counters := []CounterTrack{
+		{Name: "mpi_sync_wait [/Code]", Points: []CounterPoint{{TsNs: 0, Value: 0}, {TsNs: 50, Value: 2.5}}},
+		{Name: "msgs_sent [/Code]", Points: []CounterPoint{{TsNs: 0, Value: 1}}},
+	}
+	var plain, with bytes.Buffer
+	if err := WriteChrome(&plain, syntheticTimeline()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeWith(&with, syntheticTimeline(), counters); err != nil {
+		t.Fatal(err)
+	}
+	// Nil counters must leave the export byte-identical to WriteChrome.
+	var nilCounters bytes.Buffer
+	if err := WriteChromeWith(&nilCounters, syntheticTimeline(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.Bytes(), nilCounters.Bytes()) {
+		t.Error("WriteChromeWith(nil) differs from WriteChrome")
+	}
+
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(with.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	var cEvents int
+	var sawProcessName bool
+	for _, e := range doc.TraceEvents {
+		if e["ph"] == "C" {
+			cEvents++
+			if e["pid"].(float64) != counterPid {
+				t.Errorf("counter event on pid %v", e["pid"])
+			}
+			if _, ok := e["args"].(map[string]any)["value"]; !ok {
+				t.Errorf("counter event without value: %v", e)
+			}
+		}
+		if e["ph"] == "M" && e["name"] == "process_name" && e["pid"].(float64) == counterPid {
+			sawProcessName = true
+		}
+	}
+	if cEvents != 3 {
+		t.Errorf("counter events = %d, want 3", cEvents)
+	}
+	if !sawProcessName {
+		t.Error("counter process not named")
+	}
+	// Span events must be untouched by the counter addition.
+	if !bytes.Contains(with.Bytes(), []byte("MPI_Recv")) {
+		t.Error("span events missing from counter export")
+	}
+}
+
+// TestCriticalPathSlack pins the slack section: on-path functions report
+// zero, and an off-path function's slack is its processes' smallest
+// end-of-run idle tail.
+func TestCriticalPathSlack(t *testing.T) {
+	tl := syntheticTimeline()
+	// p2 finishes at 14 and is never on the path (ends at 20 on p1): its
+	// exclusive function waste_time has slack 20-14 = 6.
+	tl.Ingest(Shard{Proc: "p2", Node: "n2", Spans: []Span{
+		{Seq: 6, Kind: ComputeSpan, Proc: "p2", Node: "n2", Name: "waste_time", Start: 0, End: 14},
+	}})
+	cp := Analyze(tl)
+	if got := cp.Slack["waste_time"]; got != 6 {
+		t.Errorf("waste_time slack = %v, want 6", got)
+	}
+	if got, ok := cp.Slack["compute"]; !ok || got != 0 {
+		t.Errorf("compute slack = %v (ok=%v), want 0 (on path)", got, ok)
+	}
+	if _, ok := cp.Slack["(app)"]; ok {
+		t.Error("(app) bucket leaked into slack")
+	}
+	out := cp.Render()
+	if !strings.Contains(out, "slack (how much a function could slow") ||
+		!strings.Contains(out, "(on critical path)") {
+		t.Errorf("render missing slack section:\n%s", out)
+	}
+}

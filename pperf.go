@@ -33,6 +33,7 @@ import (
 	"pperf/internal/pperfmark"
 	"pperf/internal/presta"
 	"pperf/internal/resource"
+	"pperf/internal/session"
 	"pperf/internal/sim"
 	"pperf/internal/stats"
 )
@@ -144,6 +145,28 @@ func RunSuiteProgram(name string, opt SuiteOptions) (*SuiteResult, error) {
 
 // JudgeSuiteRun evaluates a suite run against the paper's expectations.
 func JudgeSuiteRun(res *SuiteResult) *SuiteVerdict { return pperfmark.Judge(res) }
+
+// Session recording and offline replay (see REPLAY.md).
+type (
+	// SessionRecorder captures the analysis-plane event stream of a live
+	// run into a replayable archive (RunOptions.Record / Options.Recorder).
+	SessionRecorder = session.Recorder
+	// SessionArchive is a loaded session recording.
+	SessionArchive = session.Archive
+	// ReplaySource serves a recorded session through the DataSource
+	// interface the Consultant consumes.
+	ReplaySource = session.ReplaySource
+)
+
+// NewSessionRecorder returns an empty session recorder.
+func NewSessionRecorder() *SessionRecorder { return session.NewRecorder() }
+
+// LoadSessionArchive reads a recorded session archive from disk.
+func LoadSessionArchive(path string) (*SessionArchive, error) { return session.Load(path) }
+
+// ReplaySuiteRun re-runs the analysis plane of a recorded suite run
+// offline, reproducing the live findings without the simulated cluster.
+func ReplaySuiteRun(a *SessionArchive) (*SuiteResult, error) { return pperfmark.Replay(a) }
 
 // Comparators.
 type (
