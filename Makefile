@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify bench replay-golden
+.PHONY: build test vet race verify bench replay-golden chaos fuzz
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,23 @@ race:
 	$(GO) test -race ./internal/frontend ./internal/daemon ./internal/faults ./internal/trace ./internal/core ./internal/session
 
 verify: build vet test race
+
+# Opt into the chaos sweep as part of verify with `make verify CHAOS=1`.
+ifeq ($(CHAOS),1)
+verify: chaos
+endif
+
+# chaos runs ~50 seeded random fault plans end-to-end under the race
+# detector. Invariants per plan: the run terminates, coverage stays within
+# [0,1], nothing panics, and an identical-seed re-run is byte-identical.
+# Each failing case logs its plan text, which reproduces it exactly.
+chaos:
+	CHAOS=1 $(GO) test -race -run TestChaosPlans ./internal/faults
+
+# fuzz hammers the fault-plan parser: no input may panic it, and every
+# accepted plan must round-trip through its canonical String form.
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/faults
 
 bench:
 	$(GO) test -bench=. -benchmem

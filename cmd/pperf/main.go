@@ -61,6 +61,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "pperf:", err)
 			os.Exit(1)
 		}
+		if note := a.TruncationNote(); note != "" {
+			fmt.Fprintln(os.Stderr, "pperf:", note)
+		}
 		res, err := pperfmark.Replay(a)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pperf:", err)

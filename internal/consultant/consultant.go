@@ -136,6 +136,13 @@ type Node struct {
 	// incomplete (processes lost to node or daemon failures): its verdict
 	// rests on the surviving processes only.
 	Partial bool
+	// GapPartial marks a node whose evaluation interval overlapped an
+	// unmeasured outage gap (daemon death → supervisor re-attach): the
+	// interval's histogram zeros include windows where nothing was
+	// collected, so the verdict understates activity on the gapped node.
+	// Nodes evaluated entirely outside the gaps stay clean — gap damage
+	// is scoped, not global.
+	GapPartial bool
 
 	Parent   *Node
 	Children []*Node
@@ -264,6 +271,9 @@ func (n *Node) update(now sim.Time) {
 		return
 	}
 	now = upto
+	if n.c.ds.GapOverlaps(n.lastTime, upto) {
+		n.GapPartial = true
+	}
 	var fractions []float64
 	for _, proc := range n.series.Procs() {
 		h := n.series.ProcHistogram(proc)

@@ -16,6 +16,9 @@ type Finding struct {
 	// Partial marks a finding evaluated on incomplete data (some processes
 	// were lost to injected or real failures while it was tested).
 	Partial bool
+	// GapPartial marks a finding whose evaluation interval overlapped an
+	// unmeasured outage gap (daemon respawned by the supervisor).
+	GapPartial bool
 }
 
 // Findings returns every node that tested true, shallowest first.
@@ -31,6 +34,7 @@ func (c *Consultant) Findings() []Finding {
 				Value:      n.Value,
 				Depth:      n.depth,
 				Partial:    n.Partial,
+				GapPartial: n.GapPartial,
 			})
 		}
 		for _, ch := range n.Children {
@@ -85,6 +89,7 @@ func (c *Consultant) AnyTrue() bool {
 // truth values, and beneath each true one the tree of true refinements.
 func (c *Consultant) Render() string {
 	degraded := c.ds.LostProcessCount() > 0
+	gaps := c.ds.UnmeasuredGaps()
 	var b strings.Builder
 	b.WriteString("TopLevelHypothesis\n")
 	for i, r := range c.roots {
@@ -94,7 +99,12 @@ func (c *Consultant) Render() string {
 			connector, indent = "└─ ", "   "
 		}
 		mark := ""
-		if degraded && r.Partial {
+		// A hypothesis is flagged when its data is untrustworthy right now
+		// (processes still lost) or when any of its evaluation intervals
+		// overlapped an unmeasured outage gap. Gap marks are scoped to the
+		// overlapping hypotheses — a recovered run's other verdicts render
+		// clean.
+		if (degraded && r.Partial) || r.GapPartial {
 			mark = " [partial data]"
 		}
 		fmt.Fprintf(&b, "%s%s: %s (%.2f)%s\n", connector, r.Hypothesis, boolWord(r.True), r.Value, mark)
@@ -102,11 +112,20 @@ func (c *Consultant) Render() string {
 			renderTrueChildren(&b, r, indent)
 		}
 	}
-	// In a healthy run this block never renders, so default reports are
-	// unchanged; in a degraded run the verdicts carry their caveat.
+	// In a healthy run neither block ever renders, so default reports are
+	// unchanged; in a degraded or gap-recovered run the verdicts carry
+	// their caveat.
 	if degraded {
 		fmt.Fprintf(&b, "WARNING: %s\n", c.ds.DegradationSummary())
 		b.WriteString("WARNING: hypotheses marked [partial data] were evaluated on surviving processes only\n")
+	}
+	if len(gaps) > 0 {
+		for _, g := range gaps {
+			fmt.Fprintf(&b, "WARNING: unmeasured gap on %s from %v to %v (daemon respawned)\n", g.Node, g.From, g.To)
+		}
+		if !degraded {
+			b.WriteString("WARNING: hypotheses marked [partial data] overlapped an unmeasured gap\n")
+		}
 	}
 	return b.String()
 }

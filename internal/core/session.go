@@ -85,6 +85,16 @@ type Session struct {
 	transports []*frontend.TCPTransport
 	flaky      map[string]*faults.FlakyTransport // node name → wrapper (fault runs only)
 	launched   bool
+
+	// Respawn support (supervisor runs only). nodeIdx/byName are the
+	// mutable routing maps the fault hooks read through, so a fault
+	// targeting a respawned node reaches the live incarnation, and
+	// registry re-routes the world's discovery hooks the same way.
+	dcfg     daemon.Config
+	plan     *faults.Plan
+	registry *daemon.Registry
+	nodeIdx  map[string]int
+	byName   map[string]*daemon.Daemon
 }
 
 // NewSession builds the cluster, world, front end and daemons.
@@ -128,7 +138,7 @@ func NewSession(opts Options) (*Session, error) {
 		fe.SetRecorder(opts.Recorder)
 	}
 
-	s := &Session{Eng: eng, Spec: spec, World: world, FE: fe, Lib: lib}
+	s := &Session{Eng: eng, Spec: spec, World: world, FE: fe, Lib: lib, dcfg: dcfg, plan: plan}
 
 	if opts.UseTCP {
 		l, err := fe.Listen("127.0.0.1:0")
@@ -146,6 +156,7 @@ func NewSession(opts Options) (*Session, error) {
 			if plan != nil {
 				rcfg.Seed = plan.Seed + uint64(node) // per-daemon jitter streams
 			}
+			rcfg.Incarnation = 1
 			t, err := frontend.DialTransportRetry(s.listener.Addr(), daemon.NameFor(nodeName), rcfg)
 			if err != nil {
 				s.Close()
@@ -166,7 +177,7 @@ func NewSession(opts Options) (*Session, error) {
 		s.Daemons = append(s.Daemons, d)
 		fe.AddDaemon(d)
 	}
-	daemon.AttachAll(world, s.Daemons)
+	s.registry = daemon.AttachAll(world, s.Daemons)
 	if opts.Trace != nil {
 		s.Tracer = trace.New(opts.Trace)
 		world.Tracer = s.Tracer
@@ -186,11 +197,11 @@ func NewSession(opts Options) (*Session, error) {
 
 // armFaults switches on the resilience machinery and schedules the plan.
 func (s *Session) armFaults(plan *faults.Plan) {
-	nodeIdx := map[string]int{}
-	byName := map[string]*daemon.Daemon{}
+	s.nodeIdx = map[string]int{}
+	s.byName = map[string]*daemon.Daemon{}
 	for i := range s.Spec.Nodes {
-		nodeIdx[s.Spec.Nodes[i].Name] = i
-		byName[s.Spec.Nodes[i].Name] = s.Daemons[i]
+		s.nodeIdx[s.Spec.Nodes[i].Name] = i
+		s.byName[s.Spec.Nodes[i].Name] = s.Daemons[i]
 	}
 	if plan.Heartbeat > 0 {
 		s.FE.StartLiveness(s.Eng, plan.Heartbeat, plan.Detect)
@@ -198,18 +209,30 @@ func (s *Session) armFaults(plan *faults.Plan) {
 	s.Injector = faults.Arm(plan, s.Eng, faults.Hooks{
 		KillNode: func(node, reason string) {
 			s.World.KillNode(node, reason)
-			if d := byName[node]; d != nil {
+			if d := s.byName[node]; d != nil {
 				d.Crash() // the node's daemon dies with it
+			}
+			if sv := s.FE.Supervisor(); sv != nil {
+				sv.MarkUnrestartable(node) // hardware is gone; nothing to re-attach to
 			}
 		},
 		Abort: func(reason string) { s.World.AbortAll(reason) },
-		CrashDaemon: func(node string) {
-			if d := byName[node]; d != nil {
+		CrashDaemon: func(node string, restartable bool) {
+			if d := s.byName[node]; d != nil {
 				d.Crash()
+			}
+			if sv := s.FE.Supervisor(); sv != nil {
+				if restartable {
+					// Direct notification: covers hb=0 plans, where the
+					// liveness monitor can never observe the silence.
+					sv.NoteDown(node)
+				} else {
+					sv.MarkUnrestartable(node)
+				}
 			}
 		},
 		HangDaemon: func(node string, dur sim.Duration) {
-			if d := byName[node]; d != nil {
+			if d := s.byName[node]; d != nil {
 				d.Hang(dur)
 			}
 		},
@@ -222,21 +245,21 @@ func (s *Session) armFaults(plan *faults.Plan) {
 				s.World.Net.SetAll(st)
 				return
 			}
-			ai, aok := nodeIdx[a]
-			bi, bok := nodeIdx[b]
+			ai, aok := s.nodeIdx[a]
+			bi, bok := s.nodeIdx[b]
 			if aok && bok {
 				s.World.Net.SetLink(ai, bi, st)
 			}
 		},
 		DelayAttach: func(node string, dur sim.Duration) {
-			if d := byName[node]; d != nil {
+			if d := s.byName[node]; d != nil {
 				d.DelayAttachUntil(s.Eng.Now().Add(dur))
 			}
 		},
 		DropTransport: func(node string, n int, ch string) {
 			ctl := ch == "" || ch == faults.ChanCtl || ch == faults.ChanBoth
 			bulk := ch == faults.ChanBulk || ch == faults.ChanBoth
-			if i, ok := nodeIdx[node]; ok && i < len(s.transports) {
+			if i, ok := s.nodeIdx[node]; ok && i < len(s.transports) {
 				if ctl {
 					s.transports[i].InjectFailures(n)
 				}
@@ -255,6 +278,77 @@ func (s *Session) armFaults(plan *faults.Plan) {
 			}
 		},
 	})
+	if plan.Restarts > 0 {
+		// The supervisor is constructed only when the plan budgets
+		// restarts; every other run keeps a nil supervisor pointer and
+		// today's permanent-loss semantics, byte for byte.
+		frontend.NewSupervisor(s.FE, s.Eng, frontend.DefaultSupervisorConfig(plan.Restarts, plan.Seed),
+			s.respawnDaemon,
+			func(now sim.Time, format string, args ...any) { s.Injector.Notef(now, format, args...) })
+	}
+}
+
+// respawnDaemon is the supervisor's RespawnFunc: build a fresh daemon
+// incarnation for the node and re-attach it to the node's still-running
+// application processes. The previous incarnation is crashed first (a
+// supervisor kills a wedged process before starting its replacement), the
+// replacement gets its own transport stamped with the incarnation number
+// (fresh control and bulk channels, fresh seq spaces), and the session's
+// routing state — world hooks, fault-hook maps, Daemons slice — is
+// re-pointed so everything downstream reaches the live incarnation.
+// Adoption re-reports the node's resources, which is what clears the front
+// end's lost marks and recovers Coverage. The supervisor starts the daemon
+// itself after resynchronization succeeds.
+func (s *Session) respawnDaemon(node string, incarnation int) (*daemon.Daemon, error) {
+	idx, ok := s.nodeIdx[node]
+	if !ok {
+		return nil, fmt.Errorf("core: respawn on unknown node %q", node)
+	}
+	if old := s.byName[node]; old != nil {
+		old.Crash()
+	}
+
+	var tr daemon.Transport = s.FE
+	if s.listener != nil {
+		rcfg := frontend.DefaultRetryConfig()
+		rcfg.Seed = s.plan.Seed + uint64(idx) + uint64(incarnation)<<16 // own jitter stream per incarnation
+		rcfg.Incarnation = uint64(incarnation)
+		t, err := frontend.DialTransportRetry(s.listener.Addr(), daemon.NameFor(node), rcfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: respawn dial: %w", err)
+		}
+		s.transports[idx].Close() // dead incarnation's channels: fail fast, free the sockets
+		s.transports[idx] = t
+		tr = t
+	} else {
+		ft := &faults.FlakyTransport{Inner: tr}
+		if s.flaky == nil {
+			s.flaky = map[string]*faults.FlakyTransport{}
+		}
+		s.flaky[node] = ft
+		tr = ft
+	}
+
+	d := daemon.New(s.Eng, idx, node, s.Lib, tr, s.dcfg)
+	d.SetIncarnation(incarnation)
+	if s.Tracer != nil {
+		// Re-arm trace streaming; registering the fill hook also displaces
+		// the dead incarnation's hook, so shards resume on the new bulk
+		// channel.
+		d.EnableTracing(s.Tracer)
+	}
+	s.registry.Replace(d)
+	s.byName[node] = d
+	s.Daemons[idx] = d
+
+	// Re-attach: adopt every application process on the node that is still
+	// running. Lost or finished ranks stay with their (retired) records.
+	for _, r := range s.World.Ranks() {
+		if r.Node() == idx && !r.Lost() && !r.Finished() {
+			d.Adopt(r)
+		}
+	}
+	return d, nil
 }
 
 // Register adds a program to the world's registry.

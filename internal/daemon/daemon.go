@@ -29,6 +29,11 @@ type Daemon struct {
 	// shards and ships them through the report transport (see outbox.go).
 	tracer *trace.Tracer
 
+	// incarnation numbers successive daemons on the same node: the first
+	// is 1, each supervisor respawn increments it. Transports stamp it on
+	// frames so listeners can fence out stragglers from dead incarnations.
+	incarnation int
+
 	ranks []*rankCtx
 	// enabled remembers every metric-focus enable request so processes
 	// adopted later (spawn) are instrumented too.
@@ -88,18 +93,27 @@ func (rc *rankCtx) SystemNow() sim.Duration { return rc.r.SystemTimeAt(rc.d.eng.
 // reports and used by transports and the liveness monitor.
 func NameFor(nodeName string) string { return "paradynd@" + nodeName }
 
-// New creates the daemon for one node.
+// New creates the daemon for one node (incarnation 1).
 func New(eng *sim.Engine, node int, nodeName string, lib *mdl.Library, tr Transport, cfg Config) *Daemon {
 	return &Daemon{
-		name:     NameFor(nodeName),
-		node:     node,
-		nodeName: nodeName,
-		eng:      eng,
-		lib:      lib,
-		tr:       tr,
-		cfg:      cfg,
+		name:        NameFor(nodeName),
+		node:        node,
+		nodeName:    nodeName,
+		eng:         eng,
+		lib:         lib,
+		tr:          tr,
+		cfg:         cfg,
+		incarnation: 1,
 	}
 }
+
+// SetIncarnation overrides the daemon's incarnation number — used when the
+// supervisor respawns a node's daemon so the replacement is distinguishable
+// from its dead predecessor.
+func (d *Daemon) SetIncarnation(n int) { d.incarnation = n }
+
+// Incarnation returns the daemon's incarnation number (1 for the original).
+func (d *Daemon) Incarnation() int { return d.incarnation }
 
 // EnableTracing arms trace-shard streaming: the daemon drains tr's span
 // recorders for its node on every tick and ships them to the front end.
@@ -119,10 +133,30 @@ func (d *Daemon) Name() string { return d.name }
 // NumProcesses returns how many application processes the daemon owns.
 func (d *Daemon) NumProcesses() int { return len(d.ranks) }
 
+// Registry routes world hooks to the current daemon of each node. The
+// supervisor swaps in respawned incarnations with Replace; the hook
+// closures read through the map, so discovery events always reach the
+// live incarnation.
+type Registry struct {
+	byNode map[int]*Daemon
+}
+
+// Replace installs d as its node's current daemon (keyed by d's node
+// index) and returns the daemon it displaced (nil if none).
+func (reg *Registry) Replace(d *Daemon) *Daemon {
+	old := reg.byNode[d.node]
+	reg.byNode[d.node] = d
+	return old
+}
+
+// Current returns the node's current daemon, or nil.
+func (reg *Registry) Current(node int) *Daemon { return reg.byNode[node] }
+
 // AttachAll wires a set of daemons (one per node) into the world's
 // resource-discovery hooks, including spawn support with the configured
-// method. Call once before launching programs.
-func AttachAll(w *mpi.World, daemons []*Daemon) {
+// method. Call once before launching programs. The returned registry lets
+// the supervisor re-route the hooks to respawned incarnations.
+func AttachAll(w *mpi.World, daemons []*Daemon) *Registry {
 	byNode := map[int]*Daemon{}
 	for _, d := range daemons {
 		byNode[d.node] = d
@@ -171,7 +205,19 @@ func AttachAll(w *mpi.World, daemons []*Daemon) {
 		},
 	}
 	w.AddHooks(hooks)
+	return &Registry{byNode: byNode}
 }
+
+// Adopt attaches the daemon to an already-running process — the
+// supervisor's re-attach path for a respawned incarnation. It reuses the
+// same adoption machinery process-start hooks go through, so the new
+// incarnation re-reports the process's resources (which also clears the
+// front end's lost mark) and re-instruments the enables applied so far.
+func (d *Daemon) Adopt(r *mpi.Rank) { d.adopt(r) }
+
+// EnabledCount returns how many metric-focus enable requests the daemon
+// currently holds — the resynchronization protocol's double-enable guard.
+func (d *Daemon) EnabledCount() int { return len(d.enabled) }
 
 // adopt starts managing a process: resource reports, function discovery,
 // probe cost accounting, and instrumentation for already-enabled metrics.

@@ -54,6 +54,13 @@ type DataSource interface {
 	Coverage() float64
 	// DegradationSummary describes coverage damage, or "" when full.
 	DegradationSummary() string
+	// UnmeasuredGaps returns the outage windows (daemon death →
+	// re-attach) recorded by the supervisor, in record order. Empty for
+	// runs without recoveries.
+	UnmeasuredGaps() []Gap
+	// GapOverlaps reports whether any unmeasured gap intersects the
+	// half-open interval (from, to].
+	GapOverlaps(from, to sim.Time) bool
 
 	// CounterTracks renders the whole-program series as Perfetto counter
 	// tracks for the Chrome export.
@@ -80,6 +87,9 @@ type Recorder interface {
 	RecordEnable(metricName string, focus resource.Focus, errMsg string)
 	// RecordStale captures a liveness-monitor staleness verdict.
 	RecordStale(daemonName string, t sim.Time)
+	// RecordGap captures one unmeasured outage window (daemon death →
+	// re-attach) so replay reproduces the supervisor's gap accounting.
+	RecordGap(g Gap)
 	// RecordShard captures one streamed trace shard.
 	RecordShard(sh trace.Shard)
 	// RecordUndelivered captures end-of-run undelivered-span accounting.

@@ -29,6 +29,10 @@ type View struct {
 	// arms the liveness monitor or a daemon-stamped report arrives).
 	liveness map[string]*DaemonHealth
 
+	// gaps are the unmeasured outage windows recorded by the supervisor
+	// (nil for runs without recoveries).
+	gaps []Gap
+
 	// NumBins/BinWidth configure new histograms (defaults are Paradyn's).
 	NumBins  int
 	BinWidth sim.Duration
@@ -235,6 +239,35 @@ func (v *View) MarkDaemonStale(name string, now sim.Time) {
 			}
 		}
 	}
+}
+
+// AddGap records one unmeasured outage window: no samples exist for the
+// node between From and To, so histogram zeros across it are absence of
+// measurement, not absence of activity.
+func (v *View) AddGap(g Gap) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.gaps = append(v.gaps, g)
+}
+
+// UnmeasuredGaps returns the recorded outage windows in record order.
+func (v *View) UnmeasuredGaps() []Gap {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return append([]Gap(nil), v.gaps...)
+}
+
+// GapOverlaps reports whether any unmeasured gap intersects the half-open
+// interval (from, to].
+func (v *View) GapOverlaps(from, to sim.Time) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, g := range v.gaps {
+		if g.From < to && g.To > from {
+			return true
+		}
+	}
+	return false
 }
 
 // --- queries ----------------------------------------------------------------

@@ -84,6 +84,17 @@ type DaemonHealth struct {
 	Stale bool
 }
 
+// Gap is one unmeasured window on a node: the span between a daemon
+// incarnation dying and its successor re-attaching. Samples for the window
+// were never collected, so histograms silently read zero across it; the
+// Consultant consults the gap list to mark hypotheses whose evaluation
+// interval overlaps one as partial instead of trusting the zeros.
+type Gap struct {
+	Node string
+	From sim.Time
+	To   sim.Time
+}
+
 // DaemonNode derives the node name from the daemon identity convention
 // ("paradynd@<node>").
 func DaemonNode(name string) string {

@@ -1,0 +1,81 @@
+package faults_test
+
+// Chaos harness: ~50 seeded random fault plans, each run end-to-end under
+// the full tool. The invariants are deliberately coarse — the point is not
+// that any particular plan produces any particular finding, but that NO
+// valid plan can break the tool's contract:
+//
+//   1. the run terminates without error or panic,
+//   2. reported data coverage stays within [0, 1],
+//   3. an identical-seed re-run is byte-identical (report, coverage,
+//      runtime, fault log).
+//
+// The full sweep is expensive (~50 simulated runs, doubled for the
+// determinism check), so it is gated behind CHAOS=1 and wired to
+// `make chaos`. The generator round-trip test below always runs.
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"pperf/internal/faults"
+	"pperf/internal/sim"
+)
+
+// chaosNodes are the node names of pperfmark's default 3-node cluster.
+var chaosNodes = []string{"node0", "node1", "node2"}
+
+const (
+	chaosPlans     = 50
+	chaosMaxFaults = 3
+	chaosHorizon   = 2 * sim.Second
+)
+
+// Every generated plan must survive a round trip through the text grammar
+// with String as a fixed point — otherwise a chaos failure could not be
+// reproduced from its printed plan. This is cheap and always runs.
+func TestGenPlanRoundTrips(t *testing.T) {
+	for seed := uint64(0); seed < 250; seed++ {
+		p := faults.MustGenParse(seed, chaosNodes, chaosMaxFaults, chaosHorizon)
+		q, err := faults.Parse(p.String())
+		if err != nil {
+			t.Fatalf("seed %d: reparse %q: %v", seed, p.String(), err)
+		}
+		if q.String() != p.String() {
+			t.Fatalf("seed %d: String not a fixed point:\n%s\n%s", seed, p.String(), q.String())
+		}
+	}
+}
+
+func TestChaosPlans(t *testing.T) {
+	if os.Getenv("CHAOS") != "1" {
+		t.Skip("chaos sweep disabled; run via 'make chaos' (CHAOS=1)")
+	}
+	for seed := uint64(1); seed <= chaosPlans; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%02d", seed), func(t *testing.T) {
+			plan := faults.MustGenParse(seed, chaosNodes, chaosMaxFaults, chaosHorizon)
+			text := plan.String()
+			t.Logf("plan: %s", text)
+
+			a := runFaulted(t, text) // Fatals on run error; panics fail the test
+			if a.Coverage < 0 || a.Coverage > 1 {
+				t.Errorf("coverage = %v, want within [0, 1]", a.Coverage)
+			}
+
+			b := runFaulted(t, text)
+			if ra, rb := a.PC.Render(), b.PC.Render(); ra != rb {
+				t.Errorf("re-run report differs:\n%s\n---\n%s", ra, rb)
+			}
+			if a.Coverage != b.Coverage || a.RunTime != b.RunTime {
+				t.Errorf("re-run coverage/runtime differ: %v/%v vs %v/%v",
+					a.Coverage, a.RunTime, b.Coverage, b.RunTime)
+			}
+			if la, lb := strings.Join(a.FaultLog, "\n"), strings.Join(b.FaultLog, "\n"); la != lb {
+				t.Errorf("re-run fault logs differ:\n%s\n---\n%s", la, lb)
+			}
+		})
+	}
+}

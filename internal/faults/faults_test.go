@@ -88,7 +88,7 @@ func TestArmFiresInVirtualTimeOrder(t *testing.T) {
 	eng := sim.NewEngine(1)
 	var fired []string
 	h := faults.Hooks{
-		CrashDaemon: func(node string) { fired = append(fired, "crash:"+node) },
+		CrashDaemon: func(node string, restartable bool) { fired = append(fired, "crash:"+node) },
 		HangDaemon:  func(node string, d sim.Duration) { fired = append(fired, "hang:"+node) },
 		KillNode:    func(node, reason string) { fired = append(fired, "kill:"+node) },
 		Abort:       func(reason string) { fired = append(fired, "abort") },

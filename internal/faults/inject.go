@@ -19,8 +19,10 @@ type Hooks struct {
 	// Abort terminates the whole job — fired Detect after a node kill, as
 	// the failure detector of the launcher would.
 	Abort func(reason string)
-	// CrashDaemon permanently stops the node's daemon.
-	CrashDaemon func(node string)
+	// CrashDaemon stops the node's daemon. restartable reports whether the
+	// fault allows a supervisor to respawn it; without a supervisor (or for
+	// a non-restartable crash) the loss is permanent.
+	CrashDaemon func(node string, restartable bool)
 	// HangDaemon stalls the node's daemon for the duration.
 	HangDaemon func(node string, d sim.Duration)
 	// SetLink applies latency/bandwidth factors and an outage window to the
@@ -61,6 +63,14 @@ func (in *Injector) note(now sim.Time, format string, args ...any) {
 	in.log = append(in.log, fmt.Sprintf("%v %s", now, fmt.Sprintf(format, args...)))
 }
 
+// Notef appends an external event to the audit log, stamped with the
+// virtual time it happened. The supervisor uses it so respawn and
+// quarantine decisions appear in the same trail as the faults that
+// triggered them.
+func (in *Injector) Notef(now sim.Time, format string, args ...any) {
+	in.note(now, format, args...)
+}
+
 // Arm schedules every fault in the plan on the engine. Hook fields left nil
 // are skipped (the fault is logged as unsupported rather than panicking).
 // Faults fire in virtual time, so runs are exactly reproducible.
@@ -96,8 +106,12 @@ func (in *Injector) fire(now sim.Time, f Fault, plan *Plan, eng *sim.Engine, h H
 			in.note(now, "crash-daemon %s: no hook, skipped", f.Node)
 			return
 		}
-		h.CrashDaemon(f.Node)
-		in.note(now, "crash-daemon %s", f.Node)
+		h.CrashDaemon(f.Node, f.Restartable)
+		if f.Restartable {
+			in.note(now, "crash-daemon %s (restartable)", f.Node)
+		} else {
+			in.note(now, "crash-daemon %s", f.Node)
+		}
 	case HangDaemon:
 		if h.HangDaemon == nil {
 			in.note(now, "hang-daemon %s: no hook, skipped", f.Node)

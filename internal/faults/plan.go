@@ -82,6 +82,11 @@ type Fault struct {
 	BW   float64      // bandwidth multiplier (DegradeLink; 0 = unchanged)
 	N    int          // failure count (DropTransport)
 	Chan string       // target channel (DropTransport): ctl | bulk | both ("" = ctl)
+	// Restartable marks a CrashDaemon as recoverable: the front end's
+	// supervisor (when the plan arms one with restarts=K) may respawn a
+	// fresh daemon incarnation instead of treating the data loss as
+	// permanent.
+	Restartable bool
 }
 
 // Plan is a full fault schedule plus the resilience knobs it implies.
@@ -94,7 +99,10 @@ type Plan struct {
 	Detect sim.Duration
 	// Heartbeat is the daemon heartbeat interval armed by the plan.
 	Heartbeat sim.Duration
-	Faults    []Fault
+	// Restarts bounds how many times the supervisor may respawn any one
+	// daemon (0 = no supervisor; today's permanent-loss semantics).
+	Restarts int
+	Faults   []Fault
 }
 
 // Defaults for the plan knobs when the plan text doesn't set them.
@@ -175,6 +183,14 @@ func (p *Plan) parseClause(clause string) error {
 			p.Heartbeat = d
 			return nil
 		}
+		if v, ok := kv(fields[0], "restarts"); ok {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return fmt.Errorf("bad restarts %q: want a non-negative integer", v)
+			}
+			p.Restarts = n
+			return nil
+		}
 	}
 
 	// Fault clauses: t=DUR <verb> <target> [opts...]
@@ -251,6 +267,8 @@ func (p *Plan) parseClause(clause string) error {
 				return fmt.Errorf("bad chan %q: want ctl, bulk or both", v)
 			}
 			f.Chan = v
+		case opt == "restartable":
+			f.Restartable = true
 		default:
 			return fmt.Errorf("unknown option %q", opt)
 		}
@@ -274,6 +292,9 @@ func (p *Plan) parseClause(clause string) error {
 	if f.Chan != "" && f.Kind != DropTransport {
 		return fmt.Errorf("chan= only applies to drop-transport")
 	}
+	if f.Restartable && f.Kind != CrashDaemon {
+		return fmt.Errorf("restartable only applies to crash-daemon")
+	}
 
 	p.Faults = append(p.Faults, f)
 	return nil
@@ -286,6 +307,9 @@ func (p *Plan) String() string {
 	parts = append(parts, fmt.Sprintf("seed=%d", p.Seed),
 		fmt.Sprintf("detect=%v", p.Detect),
 		fmt.Sprintf("hb=%v", p.Heartbeat))
+	if p.Restarts > 0 {
+		parts = append(parts, fmt.Sprintf("restarts=%d", p.Restarts))
+	}
 	for _, f := range p.Faults {
 		parts = append(parts, f.String())
 	}
@@ -320,6 +344,9 @@ func (f Fault) String() string {
 	}
 	if f.Chan != "" {
 		fmt.Fprintf(&b, " chan=%s", f.Chan)
+	}
+	if f.Restartable {
+		b.WriteString(" restartable")
 	}
 	return b.String()
 }

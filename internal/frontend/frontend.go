@@ -8,6 +8,7 @@
 package frontend
 
 import (
+	"fmt"
 	"sync"
 
 	"pperf/internal/daemon"
@@ -47,6 +48,22 @@ type FrontEnd struct {
 	// offline replay. Every hook below is a nil test when recording is off,
 	// so a cold recorder costs nothing on the sampling path.
 	rec datasource.Recorder
+
+	// emu guards active — the currently-enabled metric-focus set, which
+	// the supervisor replays onto respawned daemon incarnations.
+	emu    sync.Mutex
+	active []activeEnable
+
+	// sv, when non-nil, is the daemon supervisor; the liveness monitor
+	// feeds it detection verdicts. Nil (the default) keeps today's
+	// permanent-loss semantics and costs one pointer test.
+	sv *Supervisor
+}
+
+// activeEnable is one member of the active metric-focus set.
+type activeEnable struct {
+	metric string
+	focus  resource.Focus
 }
 
 // FrontEnd must satisfy the full DataSource contract (the Consultant and
@@ -66,6 +83,21 @@ func (fe *FrontEnd) SetRecorder(rec datasource.Recorder) { fe.rec = rec }
 // AddDaemon registers a daemon the front end controls.
 func (fe *FrontEnd) AddDaemon(d *daemon.Daemon) {
 	fe.daemons = append(fe.daemons, d)
+}
+
+// ReplaceDaemon swaps a respawned daemon incarnation in for its dead
+// predecessor (matched by daemon identity), returning the daemon it
+// displaced (nil if the identity is unknown — the replacement is then
+// appended).
+func (fe *FrontEnd) ReplaceDaemon(d *daemon.Daemon) *daemon.Daemon {
+	for i, old := range fe.daemons {
+		if old.Name() == d.Name() {
+			fe.daemons[i] = d
+			return old
+		}
+	}
+	fe.daemons = append(fe.daemons, d)
+	return nil
 }
 
 // EnableTrace prepares the front end to merge daemon trace shards.
@@ -142,6 +174,9 @@ func (fe *FrontEnd) EnableMetric(metricName string, focus resource.Focus) (*Seri
 			return nil, err
 		}
 	}
+	fe.emu.Lock()
+	fe.active = append(fe.active, activeEnable{metric: metricName, focus: focus})
+	fe.emu.Unlock()
 	if fe.rec != nil {
 		fe.rec.RecordEnable(metricName, focus, "")
 	}
@@ -153,6 +188,55 @@ func (fe *FrontEnd) EnableMetric(metricName string, focus resource.Focus) (*Seri
 func (fe *FrontEnd) DisableMetric(metricName string, focus resource.Focus) {
 	for _, d := range fe.daemons {
 		d.Disable(metricName, focus)
+	}
+	fe.emu.Lock()
+	key := focus.Key()
+	for i, e := range fe.active {
+		if e.metric == metricName && e.focus.Key() == key {
+			fe.active = append(fe.active[:i], fe.active[i+1:]...)
+			break
+		}
+	}
+	fe.emu.Unlock()
+}
+
+// activeEnables returns the currently-enabled metric-focus set in enable
+// order — the state a respawned daemon incarnation must resynchronize to.
+func (fe *FrontEnd) activeEnables() []activeEnable {
+	fe.emu.Lock()
+	defer fe.emu.Unlock()
+	return append([]activeEnable(nil), fe.active...)
+}
+
+// resyncDaemon replays the active metric-focus set onto a freshly
+// respawned daemon — the state-resynchronization half of the supervisor's
+// re-attach. Enables are applied in original enable order so the daemon's
+// instrumentation sequence (and any cost accounting derived from it) is
+// deterministic. A failure — including the daemon dying mid-protocol —
+// aborts immediately; the supervisor treats the respawn as failed and
+// re-enters backoff with a brand-new incarnation, so no daemon object is
+// ever enabled twice.
+func (fe *FrontEnd) resyncDaemon(d *daemon.Daemon) error {
+	for _, e := range fe.activeEnables() {
+		if d.Crashed() {
+			return fmt.Errorf("frontend: daemon %s died during resynchronization", d.Name())
+		}
+		if _, err := d.Enable(e.metric, e.focus); err != nil {
+			return fmt.Errorf("frontend: resync enable %s %s: %w", e.metric, e.focus, err)
+		}
+	}
+	if d.Crashed() {
+		return fmt.Errorf("frontend: daemon %s died during resynchronization", d.Name())
+	}
+	return nil
+}
+
+// recordGap folds one unmeasured outage window into the view (and the
+// session archive, when recording).
+func (fe *FrontEnd) recordGap(g datasource.Gap) {
+	fe.View.AddGap(g)
+	if fe.rec != nil {
+		fe.rec.RecordGap(g)
 	}
 }
 
@@ -223,6 +307,9 @@ func (fe *FrontEnd) checkLiveness(now sim.Time, timeout sim.Duration) {
 		fe.View.MarkDaemonStale(name, now)
 		if fe.rec != nil {
 			fe.rec.RecordStale(name, now)
+		}
+		if fe.sv != nil {
+			fe.sv.NoteDown(datasource.DaemonNode(name))
 		}
 	}
 }

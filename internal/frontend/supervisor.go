@@ -1,0 +1,287 @@
+package frontend
+
+// The daemon supervisor: the self-healing half of the resilience stack.
+// Detection stays where it always was — the liveness monitor (heartbeat
+// silence) and the fault injector (a restartable crash-daemon fault) both
+// report a down daemon to NoteDown. The supervisor then runs the classic
+// supervised-restart loop, all in virtual time so faulted runs stay
+// exactly reproducible:
+//
+//	detect → backoff (seeded exponential) → respawn a new incarnation →
+//	re-attach to the node's still-running processes → resynchronize state
+//	(replay the active metric-focus set, restart heartbeats, fresh bulk
+//	channel) → account the outage as an unmeasured gap.
+//
+// Bounded attempts (MaxRestarts) and a flap-quarantine (too many failures
+// inside a sliding window) guarantee termination: a node that exhausts its
+// budget falls back to the pre-supervisor permanent-loss semantics the
+// liveness monitor already implements.
+
+import (
+	"sync"
+
+	"pperf/internal/daemon"
+	"pperf/internal/datasource"
+	"pperf/internal/sim"
+)
+
+// SupervisorConfig tunes the restart policy.
+type SupervisorConfig struct {
+	// MaxRestarts bounds respawn attempts per node (the plan's restarts=K).
+	MaxRestarts int
+	// BaseBackoff/MaxBackoff bound the exponential delay before each
+	// respawn attempt (virtual time).
+	BaseBackoff sim.Duration
+	MaxBackoff  sim.Duration
+	// Seed drives the backoff jitter RNG; equal seeds give identical
+	// schedules.
+	Seed uint64
+	// FlapWindow/FlapMax implement the flap-quarantine: FlapMax failures
+	// within FlapWindow quarantine the node (give up, permanent loss).
+	// FlapMax 0 disables quarantine.
+	FlapWindow sim.Duration
+	FlapMax    int
+}
+
+// DefaultSupervisorConfig returns the policy a plan's restarts=K arms:
+// quick first retry, bounded growth, quarantine after maxRestarts+2 rapid
+// failures (so quarantine only triggers on pathological flapping, not on a
+// plan that legitimately uses its whole restart budget).
+func DefaultSupervisorConfig(maxRestarts int, seed uint64) SupervisorConfig {
+	return SupervisorConfig{
+		MaxRestarts: maxRestarts,
+		BaseBackoff: 50 * sim.Millisecond,
+		MaxBackoff:  sim.Second,
+		Seed:        seed,
+		FlapWindow:  5 * sim.Second,
+		FlapMax:     maxRestarts + 2,
+	}
+}
+
+// RespawnFunc builds, attaches and returns a new daemon incarnation for a
+// node: the session layer implements it (crash the previous incarnation,
+// dial a fresh transport stamped with the incarnation number, adopt the
+// node's still-running processes, re-arm tracing). It must NOT start the
+// daemon — the supervisor starts it only after resynchronization succeeds.
+type RespawnFunc func(node string, incarnation int) (*daemon.Daemon, error)
+
+// svEngine is the slice of the simulation engine the supervisor needs.
+type svEngine interface {
+	After(d sim.Duration, fn func())
+	Now() sim.Time
+}
+
+// Supervisor owns the per-node restart state machine.
+type Supervisor struct {
+	fe      *FrontEnd
+	eng     svEngine
+	cfg     SupervisorConfig
+	respawn RespawnFunc
+	rng     *sim.RNG
+	// notef, when non-nil, lands supervisor decisions in the fault
+	// injector's audit log (the same trail the faults appear in).
+	notef func(now sim.Time, format string, args ...any)
+
+	mu    sync.Mutex
+	nodes map[string]*nodeState
+}
+
+// nodeState is one node's restart ledger.
+type nodeState struct {
+	incarnation int  // current daemon incarnation (1 = original)
+	restarts    int  // respawn attempts consumed
+	pending     bool // a backoff/respawn is in flight
+	quarantined bool // flap-quarantine tripped: permanent loss
+	exhausted   bool // restart budget spent: permanent loss
+	abandoned   bool // unrestartable failure (kill-node, bare crash-daemon)
+	// down latches across failed respawn attempts so downSince keeps the
+	// FIRST detection time: the eventual gap covers the whole outage, not
+	// just the tail after the last retry.
+	down      bool
+	downSince sim.Time
+	failures  []sim.Time // failure times inside the flap window
+}
+
+// NewSupervisor arms a supervisor on the front end. notef may be nil.
+func NewSupervisor(fe *FrontEnd, eng svEngine, cfg SupervisorConfig, respawn RespawnFunc,
+	notef func(now sim.Time, format string, args ...any)) *Supervisor {
+	sv := &Supervisor{
+		fe: fe, eng: eng, cfg: cfg, respawn: respawn,
+		rng:   sim.NewRNG(cfg.Seed ^ 0x73757076), // "supv": own jitter stream
+		notef: notef,
+		nodes: map[string]*nodeState{},
+	}
+	fe.sv = sv
+	return sv
+}
+
+// Supervisor returns the attached supervisor (nil when none is armed).
+func (fe *FrontEnd) Supervisor() *Supervisor { return fe.sv }
+
+func (sv *Supervisor) note(format string, args ...any) {
+	if sv.notef != nil {
+		sv.notef(sv.eng.Now(), format, args...)
+	}
+}
+
+func (sv *Supervisor) state(node string) *nodeState {
+	s, ok := sv.nodes[node]
+	if !ok {
+		s = &nodeState{incarnation: 1}
+		sv.nodes[node] = s
+	}
+	return s
+}
+
+// MarkUnrestartable excludes a node from supervision: its failure mode
+// (node kill, non-restartable daemon crash) is permanent by definition.
+func (sv *Supervisor) MarkUnrestartable(node string) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	sv.state(node).abandoned = true
+}
+
+// Restarts returns how many respawn attempts the node has consumed.
+func (sv *Supervisor) Restarts(node string) int {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	return sv.state(node).restarts
+}
+
+// Quarantined reports whether the node tripped the flap-quarantine.
+func (sv *Supervisor) Quarantined(node string) bool {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	return sv.state(node).quarantined
+}
+
+// Incarnation returns the node's current daemon incarnation number.
+func (sv *Supervisor) Incarnation(node string) int {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	return sv.state(node).incarnation
+}
+
+// NoteDown reports that a node's daemon is down. Both detection paths call
+// it: the liveness monitor on heartbeat silence, and the session layer
+// directly when a restartable crash-daemon fault fires (which also covers
+// hb=0 plans, where heartbeat silence can never be observed). Duplicate
+// verdicts while a respawn is already in flight are absorbed.
+func (sv *Supervisor) NoteDown(node string) {
+	sv.mu.Lock()
+	s := sv.state(node)
+	if s.pending || s.quarantined || s.exhausted || s.abandoned {
+		sv.mu.Unlock()
+		return
+	}
+	now := sv.eng.Now()
+
+	// Flap-quarantine: count failures inside the sliding window.
+	if sv.cfg.FlapMax > 0 {
+		kept := s.failures[:0]
+		for _, t := range s.failures {
+			if now.Sub(t) <= sv.cfg.FlapWindow {
+				kept = append(kept, t)
+			}
+		}
+		s.failures = append(kept, now)
+		if len(s.failures) >= sv.cfg.FlapMax {
+			s.quarantined = true
+			sv.mu.Unlock()
+			sv.note("supervisor: quarantine %s (%d failures within %v); giving up", node, len(s.failures), sv.cfg.FlapWindow)
+			return
+		}
+	}
+
+	if s.restarts >= sv.cfg.MaxRestarts {
+		s.exhausted = true
+		sv.mu.Unlock()
+		sv.note("supervisor: restart budget exhausted for %s (%d used); giving up", node, s.restarts)
+		return
+	}
+
+	s.pending = true
+	if !s.down {
+		s.down = true
+		s.downSince = now
+	}
+	attempt := s.restarts
+	s.restarts++
+	delay := sv.backoff(attempt)
+	sv.mu.Unlock()
+
+	sv.note("supervisor: daemon on %s down; respawn attempt %d in %v", node, attempt+1, delay)
+	sv.eng.After(delay, func() { sv.doRespawn(node) })
+}
+
+// backoff computes the delay before respawn attempt (0-based): bounded
+// exponential growth with seeded jitter in [d/2, d). Pure function of the
+// seed and the failure sequence — reproducible.
+func (sv *Supervisor) backoff(attempt int) sim.Duration {
+	d := sv.cfg.BaseBackoff
+	if d <= 0 {
+		d = sim.Millisecond
+	}
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if sv.cfg.MaxBackoff > 0 && d >= sv.cfg.MaxBackoff {
+			d = sv.cfg.MaxBackoff
+			break
+		}
+	}
+	half := d / 2
+	return half + sim.Duration(sv.rng.Uint64()%uint64(half+1))
+}
+
+// doRespawn runs one respawn + re-attach + resynchronize cycle. Any
+// failure — the respawn itself, or the daemon dying mid-resync — re-enters
+// NoteDown, which either schedules the next backoff or gives up. The
+// failed incarnation is crashed and discarded; the next cycle builds a
+// brand-new daemon object, so state (enables, queues) is never applied
+// twice to the same incarnation.
+func (sv *Supervisor) doRespawn(node string) {
+	sv.mu.Lock()
+	s := sv.state(node)
+	s.incarnation++
+	inc := s.incarnation
+	downSince := s.downSince
+	sv.mu.Unlock()
+
+	now := sv.eng.Now()
+	d, err := sv.respawn(node, inc)
+	if err != nil {
+		sv.note("supervisor: respawn of %s (incarnation %d) failed: %v", node, inc, err)
+		sv.clearPending(node)
+		sv.NoteDown(node)
+		return
+	}
+
+	sv.fe.ReplaceDaemon(d)
+	if err := sv.fe.resyncDaemon(d); err != nil {
+		// The daemon died (or refused an enable) during the
+		// resynchronization protocol: treat the whole respawn as failed.
+		d.Crash()
+		sv.note("supervisor: resync of %s (incarnation %d) failed: %v", node, inc, err)
+		sv.clearPending(node)
+		sv.NoteDown(node)
+		return
+	}
+	d.Start()
+
+	// The outage window [downSince, now] is unmeasured: samples for it
+	// were never collected, and histogram zeros across it must not be
+	// mistaken for idleness.
+	sv.fe.recordGap(datasource.Gap{Node: node, From: downSince, To: now})
+	sv.mu.Lock()
+	s = sv.state(node)
+	s.down = false
+	sv.mu.Unlock()
+	sv.clearPending(node)
+	sv.note("supervisor: respawned daemon on %s (incarnation %d) after %v outage", node, inc, now.Sub(downSince))
+}
+
+func (sv *Supervisor) clearPending(node string) {
+	sv.mu.Lock()
+	sv.state(node).pending = false
+	sv.mu.Unlock()
+}

@@ -1,0 +1,125 @@
+package frontend
+
+import (
+	"encoding/gob"
+	"net"
+	"testing"
+	"time"
+
+	"pperf/internal/daemon"
+	"pperf/internal/resource"
+	"pperf/internal/sim"
+)
+
+// A daemon silent for EXACTLY the detection timeout is not yet stale: the
+// liveness predicate is strictly greater-than, so the boundary tick leaves
+// the daemon healthy and only the next one condemns it.
+func TestLivenessExactTimeoutNotStale(t *testing.T) {
+	fe := New()
+	fe.Update(daemon.Update{Kind: daemon.UpHeartbeat, Daemon: "paradynd@node0", Time: 0})
+	timeout := 500 * sim.Millisecond
+
+	fe.checkLiveness(sim.Time(timeout), timeout) // silence == timeout exactly
+	hs := fe.DaemonHealths()
+	if len(hs) != 1 || hs[0].Stale {
+		t.Fatalf("daemon stale after exactly-timeout silence: %+v", hs)
+	}
+
+	fe.checkLiveness(sim.Time(timeout)+1, timeout) // one tick past the boundary
+	if hs = fe.DaemonHealths(); !hs[0].Stale {
+		t.Fatalf("daemon not stale past the timeout: %+v", hs)
+	}
+}
+
+// sendFrame pushes one wireMsg and waits for the ack.
+func sendFrame(t *testing.T, enc *gob.Encoder, dec *gob.Decoder, msg wireMsg) {
+	t.Helper()
+	if err := enc.Encode(&msg); err != nil {
+		t.Fatal(err)
+	}
+	var ack bool
+	if err := dec.Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Frames from a dead daemon incarnation must be acknowledged (so the
+// straggler sender unblocks) but never applied; a newer incarnation resets
+// the channel's sequence space so the respawned daemon can number its
+// frames from 1 again.
+func TestListenerFencesStaleIncarnationFrames(t *testing.T) {
+	fe := New()
+	f := resource.WholeProgram()
+	fe.RegisterSeries("m", f)
+	l, err := fe.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	conn, err := net.Dial("tcp", l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc, dec := gob.NewEncoder(conn), gob.NewDecoder(conn)
+	frame := func(inc, seq uint64, delta float64) wireMsg {
+		return wireMsg{
+			Daemon:  "paradynd@node0",
+			Inc:     inc,
+			Seq:     seq,
+			Samples: []daemon.Sample{sample("m", f, "p0", sim.Time(sim.Second), delta)},
+		}
+	}
+
+	sendFrame(t, enc, dec, frame(1, 1, 5)) // incarnation 1 applies
+	sendFrame(t, enc, dec, frame(2, 1, 7)) // incarnation 2: seq space resets, applies
+	sendFrame(t, enc, dec, frame(1, 2, 100)) // dead-incarnation straggler: acked, dropped
+	if got := fe.Series("m", f).Total(); got != 12 {
+		t.Errorf("total = %v, want 12 (stale-incarnation frame applied?)", got)
+	}
+	if l.StaleIncarnationFrames() != 1 {
+		t.Errorf("stale frames = %d, want 1", l.StaleIncarnationFrames())
+	}
+
+	// Within the new incarnation, plain seq dedupe still works.
+	sendFrame(t, enc, dec, frame(2, 1, 3))
+	if got := fe.Series("m", f).Total(); got != 12 {
+		t.Errorf("total = %v, want 12 (replayed frame applied twice?)", got)
+	}
+	if l.Duplicates() != 1 {
+		t.Errorf("duplicates = %d, want 1", l.Duplicates())
+	}
+}
+
+// A peer that connects and then goes mute must be dropped by the per-frame
+// read deadline instead of parking a handler goroutine forever.
+func TestListenerReadDeadlineDropsWedgedPeer(t *testing.T) {
+	fe := New()
+	l, err := fe.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.SetReadTimeout(30 * time.Millisecond)
+
+	conn, err := net.Dial("tcp", l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Send nothing; the listener must cut us loose.
+	deadline := time.Now().Add(5 * time.Second)
+	for l.ReadTimeouts() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("read deadline never fired for a mute peer")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The listener closed its end: our next read observes it.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Error("connection still open after the read deadline fired")
+	}
+}

@@ -51,6 +51,12 @@ type wireMsg struct {
 	Daemon string
 	Chan   string
 	Seq    uint64
+	// Inc is the sending daemon incarnation. A frame from an incarnation
+	// older than the newest one seen is a straggler from a dead daemon:
+	// the listener acknowledges it (so the sender unblocks) but never
+	// applies it. A newer incarnation resets the channel's seq space. Inc
+	// 0 (legacy senders) keeps pure-seq dedupe.
+	Inc uint64
 
 	Samples []daemon.Sample
 	Update  *daemon.Update
@@ -74,6 +80,10 @@ type RetryConfig struct {
 	// RNG stream from the same seed, so the two channels' schedules are
 	// independent but both reproducible.
 	Seed uint64
+	// Incarnation is stamped on every frame so the listener can fence out
+	// stragglers from dead daemon incarnations. 0 (the default) sends
+	// legacy frames with pure-seq dedupe.
+	Incarnation uint64
 }
 
 // DefaultRetryConfig returns production-shaped retry behaviour.
@@ -107,15 +117,30 @@ type Listener struct {
 	ln net.Listener
 	wg sync.WaitGroup
 
-	mu         sync.Mutex
-	closed     bool
-	lastSeq    map[string]uint64 // per-(daemon,channel) high-water mark for dedupe
-	dups       int64
-	acceptE    int64 // transient accept errors retried
-	ctlFrames  int64
-	bulkFrames int64
-	ctlShards  int64 // shard frames that arrived on the control channel (should stay 0)
+	// readTimeout bounds the wait for each incoming frame; a peer that
+	// connects and then wedges is dropped instead of parking the handler
+	// goroutine forever. Healthy-but-idle daemons that get dropped simply
+	// redial on their next send (gob streams are per-connection, and the
+	// dedupe layer absorbs any replays).
+	readTimeout time.Duration
+
+	mu           sync.Mutex
+	closed       bool
+	lastSeq      map[string]uint64 // per-(daemon,channel) high-water mark for dedupe
+	lastInc      map[string]uint64 // per-(daemon,channel) newest incarnation seen
+	dups         int64
+	staleFrames  int64 // frames fenced out as dead-incarnation stragglers
+	readTimeouts int64 // connections dropped by the per-frame read deadline
+	acceptE      int64 // transient accept errors retried
+	ctlFrames    int64
+	bulkFrames   int64
+	ctlShards    int64 // shard frames that arrived on the control channel (should stay 0)
 }
+
+// DefaultReadTimeout is the per-frame read deadline new listeners start
+// with — generous enough that an idle-but-healthy daemon is rarely cut,
+// tight enough that a wedged peer cannot hold a handler goroutine forever.
+const DefaultReadTimeout = 10 * time.Second
 
 // Listen starts a TCP listener feeding the front end. Use addr "127.0.0.1:0"
 // to pick a free port; Addr reports the chosen address.
@@ -124,10 +149,23 @@ func (fe *FrontEnd) Listen(addr string) (*Listener, error) {
 	if err != nil {
 		return nil, fmt.Errorf("frontend: listen: %w", err)
 	}
-	l := &Listener{fe: fe, ln: ln, lastSeq: map[string]uint64{}}
+	l := &Listener{
+		fe: fe, ln: ln,
+		lastSeq:     map[string]uint64{},
+		lastInc:     map[string]uint64{},
+		readTimeout: DefaultReadTimeout,
+	}
 	l.wg.Add(1)
 	go l.acceptLoop()
 	return l, nil
+}
+
+// SetReadTimeout adjusts the per-frame read deadline (0 disables it).
+// Affects connections accepted after the call.
+func (l *Listener) SetReadTimeout(d time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.readTimeout = d
 }
 
 // Addr returns the listening address.
@@ -148,6 +186,22 @@ func (l *Listener) Duplicates() int64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.dups
+}
+
+// StaleIncarnationFrames returns how many frames were fenced out because
+// they came from a dead daemon incarnation.
+func (l *Listener) StaleIncarnationFrames() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.staleFrames
+}
+
+// ReadTimeouts returns how many connections the per-frame read deadline
+// dropped.
+func (l *Listener) ReadTimeouts() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.readTimeouts
 }
 
 // TransientAcceptErrors returns how many Accept errors were retried.
@@ -218,10 +272,13 @@ func (l *Listener) isClosed() bool {
 	return l.closed
 }
 
-// seen reports (and records) whether the frame is a replay the front end
-// already applied — the reconnect-resync dedupe, tracked independently per
-// (daemon, channel) since each channel numbers its own frames.
-func (l *Listener) seen(daemonName, ch string, seq uint64) bool {
+// seen reports (and records) whether the frame must be skipped — either a
+// replay the front end already applied (reconnect-resync dedupe, tracked
+// independently per (daemon, channel) since each channel numbers its own
+// frames), or a straggler from a dead daemon incarnation. A frame from a
+// newer incarnation resets the channel's seq space: the respawned daemon
+// numbers its frames from 1 again.
+func (l *Listener) seen(daemonName, ch string, inc, seq uint64) bool {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if ch == bulkChannel {
@@ -233,6 +290,17 @@ func (l *Listener) seen(daemonName, ch string, seq uint64) bool {
 		return false
 	}
 	key := daemonName + "\x00" + ch
+	switch cur := l.lastInc[key]; {
+	case inc < cur:
+		l.staleFrames++
+		return true
+	case inc > cur:
+		if l.lastInc == nil {
+			l.lastInc = map[string]uint64{}
+		}
+		l.lastInc[key] = inc
+		l.lastSeq[key] = 0
+	}
 	if seq <= l.lastSeq[key] {
 		l.dups++
 		return true
@@ -243,21 +311,40 @@ func (l *Listener) seen(daemonName, ch string, seq uint64) bool {
 
 func (l *Listener) handle(conn net.Conn) {
 	defer conn.Close()
+	l.mu.Lock()
+	readTimeout := l.readTimeout
+	l.mu.Unlock()
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
 	for {
+		if readTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(readTimeout))
+		}
 		var msg wireMsg
 		if err := dec.Decode(&msg); err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				// Wedged (or merely idle) peer: drop the connection
+				// instead of parking this goroutine forever. A live
+				// daemon redials on its next send and the dedupe layer
+				// absorbs any replays.
+				l.mu.Lock()
+				l.readTimeouts++
+				l.mu.Unlock()
+			}
 			return
+		}
+		if readTimeout > 0 {
+			conn.SetReadDeadline(time.Time{})
 		}
 		if msg.Shard != nil && msg.Chan != bulkChannel {
 			l.mu.Lock()
 			l.ctlShards++
 			l.mu.Unlock()
 		}
-		// A frame the daemon re-sent after a lost ack was already applied:
-		// skip the apply, but still acknowledge it.
-		if !l.seen(msg.Daemon, msg.Chan, msg.Seq) {
+		// A frame the daemon re-sent after a lost ack was already applied —
+		// and one a dead incarnation sent must never apply. Both are still
+		// acknowledged so the sender unblocks.
+		if !l.seen(msg.Daemon, msg.Chan, msg.Inc, msg.Seq) {
 			if msg.Samples != nil {
 				l.fe.Samples(msg.Samples)
 			}
@@ -528,6 +615,7 @@ func (c *tcpChannel) send(msg wireMsg, hook *func(attempt int, msg *wireMsg) err
 	}
 	msg.Daemon = c.name
 	msg.Chan = c.label
+	msg.Inc = c.cfg.Incarnation
 	c.seq++
 	msg.Seq = c.seq
 

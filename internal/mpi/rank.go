@@ -269,6 +269,11 @@ func (r *Rank) Lose(reason string) bool {
 // Lost reports whether the process was forcibly terminated.
 func (r *Rank) Lost() bool { return r.lost }
 
+// Finished reports whether the underlying process has terminated — by
+// clean exit, loss, or abort. Still-running ranks are the ones a respawned
+// daemon incarnation re-attaches to.
+func (r *Rank) Finished() bool { return r.proc.Done() }
+
 // Abort terminates the process like Lose but reports an observed exit
 // (ProcessExited) instead of lost data: when the launcher tears the job down
 // the tool watches it happen, so the rank's collected data stays

@@ -85,6 +85,9 @@ const (
 	// k-th replayed evaluation sees exactly the state the k-th live
 	// evaluation saw.
 	EvBarrier
+	// EvGap is one unmeasured outage window recorded by the daemon
+	// supervisor (death → re-attach of the next incarnation).
+	EvGap
 )
 
 func (k EventKind) String() string {
@@ -103,6 +106,8 @@ func (k EventKind) String() string {
 		return "undelivered"
 	case EvBarrier:
 		return "barrier"
+	case EvGap:
+		return "gap"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }
@@ -127,12 +132,28 @@ type Event struct {
 
 	Proc string // EvUndelivered
 	N    int64  // EvUndelivered
+
+	Gap datasource.Gap // EvGap
 }
 
 // Archive is a fully loaded session recording.
 type Archive struct {
 	Header Header
 	Events []Event
+	// Truncated marks an archive whose stream ended before the header's
+	// declared event count (front end killed mid-run): Events holds only
+	// the complete prefix. Replay proceeds up to the last complete read
+	// barrier; see TruncationNote.
+	Truncated bool
+}
+
+// TruncationNote returns the human-readable replay warning for a truncated
+// archive, or "" when the archive is complete.
+func (a *Archive) TruncationNote() string {
+	if !a.Truncated {
+		return ""
+	}
+	return fmt.Sprintf("[replay truncated after %d events]", len(a.Events))
 }
 
 // Recorder buffers the event stream in memory and writes the archive on
@@ -208,6 +229,11 @@ func (r *Recorder) RecordEnable(metricName string, focus resource.Focus, errMsg 
 // RecordStale captures a liveness verdict.
 func (r *Recorder) RecordStale(daemonName string, t sim.Time) {
 	r.append(Event{Kind: EvStale, Daemon: daemonName, Time: t})
+}
+
+// RecordGap captures one unmeasured outage window.
+func (r *Recorder) RecordGap(g datasource.Gap) {
+	r.append(Event{Kind: EvGap, Gap: g})
 }
 
 // RecordShard captures one trace shard.
@@ -299,7 +325,11 @@ func Read(rd io.Reader) (*Archive, error) {
 		var ev Event
 		if err := dec.Decode(&ev); err != nil {
 			if err == io.EOF || err == io.ErrUnexpectedEOF {
-				return nil, fmt.Errorf("session: truncated archive: %d of %d events present", i, h.NumEvents)
+				// The front end died mid-run: the complete prefix is
+				// still a faithful (if shorter) session. Surface it with
+				// the truncation mark instead of refusing the file.
+				a.Truncated = true
+				return a, nil
 			}
 			return nil, fmt.Errorf("session: corrupt archive at event %d of %d: %v", i, h.NumEvents, err)
 		}

@@ -104,7 +104,6 @@ func TestArchiveRobustness(t *testing.T) {
 		{"header cut mid-gob", full[:len(magic)+4], "corrupt archive header"},
 		{"garbage header", append(append([]byte{}, magic...), 0xde, 0xad, 0xbe, 0xef), "corrupt archive header"},
 		{"future version", versioned(Version + 41), "version 42"},
-		{"truncated mid-event", full[:len(full)-15], "truncated"},
 		{"trailing garbage", append(append([]byte{}, full...), 1, 2, 3), "corrupt archive trailer"},
 	}
 	for _, tc := range cases {
@@ -121,12 +120,34 @@ func TestArchiveRobustness(t *testing.T) {
 	}
 }
 
+// TestTruncatedMidEvent verifies that a stream cut in the middle of an
+// event record still loads: the complete prefix is kept and the archive is
+// flagged Truncated (the front end died mid-run; the prefix is a faithful,
+// if shorter, session).
+func TestTruncatedMidEvent(t *testing.T) {
+	full := encodeArchive(t)
+	a, err := Read(bytes.NewReader(full[:len(full)-15]))
+	if err != nil {
+		t.Fatalf("mid-event truncation refused: %v", err)
+	}
+	if !a.Truncated {
+		t.Error("archive not flagged Truncated")
+	}
+	if len(a.Events) >= a.Header.NumEvents {
+		t.Errorf("events = %d, want fewer than declared %d", len(a.Events), a.Header.NumEvents)
+	}
+	want := "[replay truncated after"
+	if note := a.TruncationNote(); !strings.Contains(note, want) {
+		t.Errorf("TruncationNote() = %q, want substring %q", note, want)
+	}
+}
+
 // TestTruncationAtEventBoundary covers the case a bare gob stream cannot
-// detect: the file ends cleanly but early. The header's event count
-// catches it.
+// detect: the file ends cleanly but early. The header's event count catches
+// it, and the archive loads as a flagged-truncated prefix.
 func TestTruncationAtEventBoundary(t *testing.T) {
 	full := encodeArchive(t)
-	// Find a prefix that decodes some-but-not-all events with a clean EOF
+	// Build a prefix that decodes some-but-not-all events with a clean EOF
 	// by re-encoding a shorter event stream under the full header.
 	r := testRecorder()
 	a := r.Archive()
@@ -141,12 +162,26 @@ func TestTruncationAtEventBoundary(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	_, err := Read(bytes.NewReader(buf.Bytes()))
-	if err == nil || !strings.Contains(err.Error(), "truncated archive") {
-		t.Errorf("boundary truncation: err = %v, want truncated-archive error", err)
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("boundary truncation refused: %v", err)
+	}
+	if !got.Truncated {
+		t.Error("archive not flagged Truncated")
+	}
+	if len(got.Events) != len(a.Events)-2 {
+		t.Errorf("events = %d, want %d", len(got.Events), len(a.Events)-2)
 	}
 	if len(buf.Bytes()) >= len(full) {
 		t.Fatal("test bug: boundary-truncated stream is not shorter than the full one")
+	}
+	// A complete archive must NOT be flagged.
+	whole, err := Read(bytes.NewReader(full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if whole.Truncated || whole.TruncationNote() != "" {
+		t.Errorf("complete archive flagged truncated (note %q)", whole.TruncationNote())
 	}
 }
 

@@ -37,12 +37,30 @@ type ReplaySource struct {
 // ReplaySource must satisfy the same contract the live front end does.
 var _ datasource.DataSource = (*ReplaySource)(nil)
 
-// NewReplaySource builds a replay source over a loaded archive.
+// NewReplaySource builds a replay source over a loaded archive. A
+// truncated archive (front end killed mid-run) replays up to its last
+// complete read barrier: the tail past that barrier is a fragment of an
+// evaluation window no live consumer ever observed, so it is dropped
+// rather than presented as end-of-run state.
 func NewReplaySource(a *Archive) *ReplaySource {
 	v := datasource.NewView()
 	v.NumBins = a.Header.NumBins
 	v.BinWidth = a.Header.BinWidth
-	rs := &ReplaySource{View: v, events: a.Events, enables: make(map[string]string)}
+	events := a.Events
+	if a.Truncated {
+		last := 0
+		for i := range events {
+			if events[i].Kind == EvBarrier {
+				last = i + 1
+			}
+		}
+		events = events[:last]
+	}
+	rs := &ReplaySource{View: v, events: events, enables: make(map[string]string)}
+	// The enable index is built from the FULL stream, trimmed or not: an
+	// enable outcome is metadata about what the live session requested, so
+	// a request that succeeded live still succeeds on a truncated replay —
+	// it just reads whatever complete windows survive.
 	for i := range a.Events {
 		ev := &a.Events[i]
 		if ev.Kind != EvEnable {
@@ -134,6 +152,8 @@ func (rs *ReplaySource) apply(ev *Event) {
 	case EvUndelivered:
 		rs.EnsureTimeline()
 		rs.timeline.NoteUndelivered(ev.Proc, ev.N)
+	case EvGap:
+		rs.View.AddGap(ev.Gap)
 	case EvEnable, EvBarrier:
 		// EvEnable is consumed through the prebuilt index; a stray
 		// barrier here (inside Drain) carries no state.

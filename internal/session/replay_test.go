@@ -43,6 +43,61 @@ func TestReplaySyncAppliesUpToBarrier(t *testing.T) {
 	}
 }
 
+// A truncated archive replays only up to its last complete read barrier:
+// the tail fragment past it belongs to an evaluation window no live
+// consumer ever observed, and must not leak into replayed state — not even
+// through Drain.
+func TestReplayTruncatedArchiveStopsAtLastBarrier(t *testing.T) {
+	f := resource.WholeProgram()
+	r := NewRecorder()
+	r.RecordEnable("m", f, "")
+	r.RecordSamples([]datasource.Sample{{Metric: "m", Focus: f, Proc: "p0", Time: 1, Delta: 3}})
+	r.RecordBarrier()
+	r.RecordSamples([]datasource.Sample{{Metric: "m", Focus: f, Proc: "p0", Time: 2, Delta: 4}})
+	r.RecordBarrier()
+	r.RecordSamples([]datasource.Sample{{Metric: "m", Focus: f, Proc: "p0", Time: 3, Delta: 5}})
+
+	a := r.Archive()
+	a.Truncated = true // as Read flags a cut stream
+	rs := NewReplaySource(a)
+	sr, err := rs.EnableMetric("m", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs.Sync()
+	rs.Sync()
+	rs.Drain()
+	// The post-barrier Delta 5 fragment is dropped; the two complete
+	// windows replay.
+	if sr.Total() != 7 {
+		t.Errorf("total = %v, want 7 (tail fragment replayed?)", sr.Total())
+	}
+}
+
+// A truncated archive with no complete barrier replays nothing: every
+// recorded event belongs to the first, unfinished evaluation window. The
+// enable index still serves (metadata, not window state), so the consumer
+// fails on absent data rather than on a refused enable.
+func TestReplayTruncatedArchiveNoBarrier(t *testing.T) {
+	f := resource.WholeProgram()
+	r := NewRecorder()
+	r.RecordEnable("m", f, "")
+	r.RecordSamples([]datasource.Sample{{Metric: "m", Focus: f, Proc: "p0", Time: 1, Delta: 3}})
+
+	a := r.Archive()
+	a.Truncated = true
+	rs := NewReplaySource(a)
+	sr, err := rs.EnableMetric("m", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs.Sync()
+	rs.Drain()
+	if sr.Total() != 0 {
+		t.Errorf("total = %v, want 0 (unfinished window replayed)", sr.Total())
+	}
+}
+
 func TestReplayEnableSemantics(t *testing.T) {
 	f := resource.WholeProgram()
 	r := NewRecorder()
