@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify bench replay-golden chaos fuzz
+.PHONY: build test vet race verify bench replay-golden perfdb-golden chaos fuzz fuzz-perfdb
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/frontend ./internal/daemon ./internal/faults ./internal/trace ./internal/core ./internal/session
+	$(GO) test -race ./internal/frontend ./internal/daemon ./internal/faults ./internal/trace ./internal/core ./internal/session ./internal/perfdb
 
 verify: build vet test race
 
@@ -38,6 +38,12 @@ chaos:
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/faults
 
+# fuzz-perfdb holds the chunked-archive and sample-delta decoders total:
+# arbitrary bytes must produce an archive or an error, never a panic.
+fuzz-perfdb:
+	$(GO) test -fuzz=FuzzChunkDecoder -fuzztime=30s ./internal/perfdb
+	$(GO) test -fuzz=FuzzUnpackSamples -fuzztime=30s ./internal/perfdb
+
 bench:
 	$(GO) test -bench=. -benchmem
 
@@ -57,3 +63,21 @@ replay-golden:
 	diff "$$tmp/live.txt" "$$tmp/replay.txt" && \
 	cmp "$$tmp/live.json" "$$tmp/replay.json" && \
 	echo "replay-golden: live and replayed reports and trace exports are identical"
+
+# perfdb-golden records a healthy and a bandwidth-degraded run of the same
+# seeded program into a fresh store, then cross-run-diffs them twice. The
+# diff must flag significant REGRESSIONs (db diff exits 3 when it does) and
+# the two reports must be byte-identical.
+perfdb-golden:
+	@tmp=$$(mktemp -d) && \
+	trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) build -o "$$tmp/pperf" ./cmd/pperf && \
+	"$$tmp/pperf" -prog big-message -seed 7 \
+		-db "$$tmp/store" -db-label healthy >/dev/null 2>&1 && \
+	"$$tmp/pperf" -prog big-message -seed 7 -faults 't=500ms degrade-link * bw=0.1' \
+		-db "$$tmp/store" -db-label degraded >/dev/null 2>&1 && \
+	{ "$$tmp/pperf" db -store "$$tmp/store" diff healthy degraded > "$$tmp/d1.txt"; [ $$? -eq 3 ]; } && \
+	{ "$$tmp/pperf" db -store "$$tmp/store" diff healthy degraded > "$$tmp/d2.txt"; [ $$? -eq 3 ]; } && \
+	cmp "$$tmp/d1.txt" "$$tmp/d2.txt" && \
+	grep -q REGRESSION "$$tmp/d1.txt" && \
+	echo "perfdb-golden: degraded run flagged with significant regressions; diff is byte-deterministic"

@@ -1,0 +1,182 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pperf/internal/perfdb"
+	"pperf/internal/pperfmark"
+)
+
+const dbUsage = `Usage: pperf db -store DIR <command>
+
+Commands:
+  add FILE     ingest a recorded archive (either format) into the store,
+               replaying it once to stamp the Consultant verdict
+  list         list stored runs
+  show ID      show one run's metadata and collected series
+  diff A B     compare two stored runs (A = baseline); exits 3 when a
+               significant regression is found
+  rm ID        remove a run from the store
+  gc           delete unreferenced files under the store's runs/ directory
+
+Options:
+`
+
+// dbMain implements the `pperf db` subcommand over a perfdb store.
+func dbMain(args []string) int {
+	fs := flag.NewFlagSet("pperf db", flag.ExitOnError)
+	storeDir := fs.String("store", "", "experiment store directory (created if missing)")
+	label := fs.String("label", "", "label for the run being added (add only)")
+	fs.Usage = func() {
+		fmt.Fprint(os.Stderr, dbUsage)
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "pperf db: -store is required")
+		return 2
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		fs.Usage()
+		return 2
+	}
+	st, err := perfdb.Open(*storeDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pperf db:", err)
+		return 1
+	}
+	verb, operands := rest[0], rest[1:]
+	need := func(n int, what string) bool {
+		if len(operands) != n {
+			fmt.Fprintf(os.Stderr, "pperf db: %s takes %s\n", verb, what)
+			return false
+		}
+		return true
+	}
+	switch verb {
+	case "add":
+		if !need(1, "one archive file") {
+			return 2
+		}
+		return dbAdd(st, operands[0], *label)
+	case "list":
+		if !need(0, "no arguments") {
+			return 2
+		}
+		for _, m := range st.Runs() {
+			fmt.Println(m.Describe())
+			if m.Verdict != "" {
+				fmt.Printf("       consultant: %s\n", m.Verdict)
+			}
+		}
+		return 0
+	case "show":
+		if !need(1, "one run ID") {
+			return 2
+		}
+		return dbShow(st, operands[0])
+	case "diff":
+		if !need(2, "two run IDs (baseline first)") {
+			return 2
+		}
+		return dbDiff(st, operands[0], operands[1])
+	case "rm":
+		if !need(1, "one run ID") {
+			return 2
+		}
+		if err := st.Remove(operands[0]); err != nil {
+			fmt.Fprintln(os.Stderr, "pperf db:", err)
+			return 1
+		}
+		return 0
+	case "gc":
+		if !need(0, "no arguments") {
+			return 2
+		}
+		removed, err := st.GC()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pperf db:", err)
+			return 1
+		}
+		for _, name := range removed {
+			fmt.Println("removed", name)
+		}
+		fmt.Printf("%d files removed\n", len(removed))
+		return 0
+	default:
+		fmt.Fprintf(os.Stderr, "pperf db: unknown command %q\n", verb)
+		fs.Usage()
+		return 2
+	}
+}
+
+// dbAdd ingests one recorded archive, replaying it offline to compute the
+// Consultant verdict stored in the index.
+func dbAdd(st *perfdb.Store, path, label string) int {
+	a, err := perfdb.LoadAny(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pperf db:", err)
+		return 1
+	}
+	if note := a.TruncationNote(); note != "" {
+		fmt.Fprintln(os.Stderr, "pperf db:", note)
+	}
+	verdict := ""
+	if res, err := pperfmark.Replay(a); err != nil {
+		fmt.Fprintf(os.Stderr, "pperf db: no verdict (replay failed: %v)\n", err)
+	} else if res.PC != nil {
+		verdict = res.PC.Export().String()
+	}
+	m, err := st.AddArchive(a, perfdb.AddMeta{Label: label, Verdict: verdict})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pperf db:", err)
+		return 1
+	}
+	fmt.Printf("stored %s (%d events, %d bytes compacted)\n", m.ID, m.Events, m.Bytes)
+	return 0
+}
+
+// dbShow prints one stored run: index entry, verdict, collected series.
+func dbShow(st *perfdb.Store, id string) int {
+	rv, err := st.OpenRun(id)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pperf db:", err)
+		return 1
+	}
+	fmt.Println(rv.Meta.Describe())
+	if rv.Meta.Verdict != "" {
+		fmt.Printf("consultant: %s\n", rv.Meta.Verdict)
+	}
+	fmt.Printf("coverage: %.2f, %d processes\n", rv.Coverage(), rv.ProcessCount())
+	for _, p := range rv.Pairs() {
+		s := rv.SeriesFor(p)
+		h := s.Histogram()
+		fmt.Printf("  %-22s @ %-40s total=%-12.6g bins=%d @ %v\n",
+			p.Metric, p.Focus, h.Total(), h.NumFilled(), h.BinWidth())
+	}
+	return 0
+}
+
+// dbDiff renders the cross-run comparison; a significant regression makes
+// the exit status 3 so scripts (and `make perfdb-golden`) can gate on it.
+func dbDiff(st *perfdb.Store, baseID, newID string) int {
+	base, err := st.OpenRun(baseID)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pperf db:", err)
+		return 1
+	}
+	neu, err := st.OpenRun(newID)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pperf db:", err)
+		return 1
+	}
+	rep := perfdb.Diff(base, neu)
+	fmt.Print(rep.Render())
+	if len(rep.Regressions()) > 0 {
+		return 3
+	}
+	return 0
+}

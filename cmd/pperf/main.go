@@ -9,6 +9,9 @@
 //	pperf -prog winscpw-sync -impl mpich2 -iterations 500
 //	pperf -prog small-messages -record run.pparch
 //	pperf -replay run.pparch
+//	pperf -replay run.pparch -what-if-sync 0.05
+//	pperf -prog small-messages -db ./experiments -db-label baseline
+//	pperf db -store ./experiments diff r0001 r0002
 //	pperf -list
 package main
 
@@ -24,12 +27,16 @@ import (
 	"pperf/internal/faults"
 	"pperf/internal/mpi"
 	"pperf/internal/pcl"
+	"pperf/internal/perfdb"
 	"pperf/internal/pperfmark"
-	"pperf/internal/session"
 	"pperf/internal/trace"
 )
 
 func main() {
+	// `pperf db ...` manages an experiment store (see PERFDB.md).
+	if len(os.Args) > 1 && os.Args[1] == "db" {
+		os.Exit(dbMain(os.Args[2:]))
+	}
 	var (
 		prog      = flag.String("prog", "", "PPerfMark program to run (see -list)")
 		implName  = flag.String("impl", "lam", "MPI implementation personality: lam | mpich | mpich2 | reference")
@@ -48,15 +55,32 @@ func main() {
 		critPath  = flag.Bool("critical-path", false, "trace the run and print the critical-path analysis")
 		record    = flag.String("record", "", "record the session's analysis-plane event stream to this archive (see REPLAY.md)")
 		replay    = flag.String("replay", "", "replay a recorded session archive offline instead of running a program")
+		dbDir     = flag.String("db", "", "record the run straight into this experiment store (see PERFDB.md)")
+		dbLabel   = flag.String("db-label", "", "label for the stored run (with -db)")
+		wifSync   = flag.Float64("what-if-sync", 0, "replay only: override the recorded SyncWaitingTime threshold")
+		wifIO     = flag.Float64("what-if-io", 0, "replay only: override the recorded IOBlockingTime threshold")
+		wifCPU    = flag.Float64("what-if-cpu", 0, "replay only: override the recorded CPUbound threshold")
 	)
 	flag.Parse()
 
+	whatIf := pperfmark.ReplayOptions{
+		SyncThreshold: *wifSync,
+		IOThreshold:   *wifIO,
+		CPUThreshold:  *wifCPU,
+	}
+	if whatIf != (pperfmark.ReplayOptions{}) && *replay == "" {
+		fmt.Fprintln(os.Stderr, "pperf: -what-if-* flags only apply to -replay (the live run's thresholds are set by PCL or defaults)")
+		os.Exit(2)
+	}
+
 	if *replay != "" {
-		if *record != "" {
-			fmt.Fprintln(os.Stderr, "pperf: -record and -replay are mutually exclusive")
+		if *record != "" || *dbDir != "" {
+			fmt.Fprintln(os.Stderr, "pperf: -record/-db and -replay are mutually exclusive")
 			os.Exit(2)
 		}
-		a, err := session.Load(*replay)
+		// LoadAny reads both archive formats: the flat v1 .pparch and the
+		// chunked compacted form -record and the experiment store write.
+		a, err := perfdb.LoadAny(*replay)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pperf:", err)
 			os.Exit(1)
@@ -64,7 +88,7 @@ func main() {
 		if note := a.TruncationNote(); note != "" {
 			fmt.Fprintln(os.Stderr, "pperf:", note)
 		}
-		res, err := pperfmark.Replay(a)
+		res, err := pperfmark.ReplayWith(a, whatIf)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pperf:", err)
 			os.Exit(1)
@@ -134,18 +158,60 @@ func main() {
 		Faults: plan,
 		Trace:  tcfg,
 	}
-	var rec *session.Recorder
+	if *record != "" && *dbDir != "" {
+		fmt.Fprintln(os.Stderr, "pperf: -record and -db are mutually exclusive (the store holds the recording)")
+		os.Exit(2)
+	}
+	// Recording streams through the chunked writer in both cases: events
+	// land on disk as the run produces them instead of accumulating in
+	// memory until exit.
+	var (
+		rec   *perfdb.StreamRecorder
+		store *perfdb.Store
+	)
 	if *record != "" {
-		rec = session.NewRecorder()
+		var err error
+		if rec, err = perfdb.NewStreamRecorder(*record); err != nil {
+			fmt.Fprintln(os.Stderr, "pperf:", err)
+			os.Exit(1)
+		}
+		opt.Record = rec
+	}
+	if *dbDir != "" {
+		var err error
+		if store, err = perfdb.Open(*dbDir); err != nil {
+			fmt.Fprintln(os.Stderr, "pperf:", err)
+			os.Exit(1)
+		}
+		if rec, err = store.NewRecorder(); err != nil {
+			fmt.Fprintln(os.Stderr, "pperf:", err)
+			os.Exit(1)
+		}
 		opt.Record = rec
 	}
 	res, err := pperfmark.Run(*prog, opt)
 	if err != nil {
+		if rec != nil {
+			rec.Abort()
+		}
 		fmt.Fprintln(os.Stderr, "pperf:", err)
 		os.Exit(1)
 	}
-	if rec != nil {
-		if err := rec.Save(*record); err != nil {
+	switch {
+	case store != nil:
+		verdict := ""
+		if res.PC != nil {
+			verdict = res.PC.Export().String()
+		}
+		m, err := store.Commit(rec, perfdb.AddMeta{Label: *dbLabel, Verdict: verdict})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pperf:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pperf: run stored as %s in %s (%d events, %d bytes)\n",
+			m.ID, store.Dir(), m.Events, m.Bytes)
+	case rec != nil:
+		if err := rec.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "pperf:", err)
 			os.Exit(1)
 		}

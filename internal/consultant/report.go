@@ -48,6 +48,60 @@ func (c *Consultant) Findings() []Finding {
 	return out
 }
 
+// TopVerdict is one top-level hypothesis outcome in an Export.
+type TopVerdict struct {
+	Hypothesis string
+	True       bool
+	Value      float64
+}
+
+// Export is the machine-readable verdict of one completed search: the
+// top-level hypothesis outcomes, every true finding, and the search-size
+// counters. The experiment store (internal/perfdb) persists its String
+// form in the run index so stored runs can be compared without replay.
+type Export struct {
+	TopLevel []TopVerdict
+	Findings []Finding
+	Tested   int
+	True     int
+	Pruned   int
+}
+
+// Export summarizes the search for storage and cross-run comparison.
+func (c *Consultant) Export() Export {
+	e := Export{Findings: c.Findings()}
+	for _, r := range c.roots {
+		e.TopLevel = append(e.TopLevel, TopVerdict{Hypothesis: r.Hypothesis, True: r.True, Value: r.Value})
+	}
+	e.Tested, e.True, e.Pruned = c.Stats()
+	return e
+}
+
+// shortHyp maps hypothesis names to the compact labels Export.String uses.
+var shortHyp = map[string]string{
+	HypSync: "sync",
+	HypIO:   "io",
+	HypCPU:  "cpu",
+}
+
+// String renders the export as one deterministic line, e.g.
+// "sync=true(0.43) io=false(0.01) cpu=true(0.38); 7 findings, 23 tested, 9 pruned".
+func (e Export) String() string {
+	var b strings.Builder
+	for i, tv := range e.TopLevel {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		name := shortHyp[tv.Hypothesis]
+		if name == "" {
+			name = tv.Hypothesis
+		}
+		fmt.Fprintf(&b, "%s=%s(%.2f)", name, boolWord(tv.True), tv.Value)
+	}
+	fmt.Fprintf(&b, "; %d findings, %d tested, %d pruned", len(e.Findings), e.Tested, e.Pruned)
+	return b.String()
+}
+
 // HasFinding reports whether some true node under the given hypothesis has
 // a focus containing substr (e.g. "MPI_Send", "/SyncObject/Window/0-1").
 // Empty hypothesis matches any.

@@ -62,8 +62,10 @@ type Options struct {
 	Trace *trace.Config
 	// Recorder, when non-nil, is attached to the front end before launch
 	// and captures the full analysis-plane event stream for offline replay
-	// (see internal/session). Nil leaves every recording hook cold.
-	Recorder *session.Recorder
+	// (see internal/session). Either the in-memory session.Recorder or
+	// perfdb's bounded-memory StreamRecorder satisfies it. Nil leaves
+	// every recording hook cold.
+	Recorder session.Sink
 }
 
 // Session is a live tool instance around one simulated cluster.

@@ -1,0 +1,307 @@
+package perfdb
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"pperf/internal/metric"
+	"pperf/internal/sim"
+	"pperf/internal/stats"
+)
+
+// Cross-run regression diagnosis: align the metric-focus pairs two stored
+// runs share, compare their histogram series bin-by-bin with the paper's
+// §5.2.1.3 paired-difference test (is zero inside the 95% confidence
+// interval of the mean per-bin difference?), and rank the significant
+// changes. The metrics this tool collects measure costs — wait fractions,
+// transferred bytes, operation counts — so a significant rate increase is
+// reported as a regression and a significant decrease as an improvement.
+
+// Verdict classifies one aligned pair's change.
+type Verdict string
+
+const (
+	// VerdictRegression: the rate rose and the CI excludes zero.
+	VerdictRegression Verdict = "REGRESSION"
+	// VerdictImprovement: the rate fell and the CI excludes zero.
+	VerdictImprovement Verdict = "improvement"
+	// VerdictUnchanged: the CI contains zero.
+	VerdictUnchanged Verdict = "unchanged"
+	// VerdictSkipped: the pair could not be compared (reason in Skipped).
+	VerdictSkipped Verdict = "skipped"
+)
+
+// SeriesDelta is the comparison of one metric-focus pair across two runs.
+type SeriesDelta struct {
+	Pair    Pair
+	Verdict Verdict
+	// Skipped holds the reason when Verdict == VerdictSkipped.
+	Skipped string
+
+	// BaseRate and NewRate are the mean interior per-bin rates (units/s)
+	// at the common bin width; endpoint bins are excluded, as the paper
+	// does, because collection start/end fall somewhere inside them.
+	BaseRate, NewRate float64
+	// MeanDiff is the mean per-bin rate difference, new minus base.
+	MeanDiff float64
+	// CI is the 95% confidence interval of MeanDiff.
+	CI stats.Interval
+	// RelChange is MeanDiff relative to BaseRate (NaN when BaseRate is 0
+	// and the rates differ; ranked last among equals).
+	RelChange float64
+
+	// Bins is the number of interior bins compared; BinWidth the common
+	// granularity both series were rebinned to.
+	Bins     int
+	BinWidth sim.Duration
+}
+
+// DiffReport is the ranked outcome of comparing two stored runs.
+type DiffReport struct {
+	Base, New RunMeta
+
+	// Deltas holds every pair present in both runs: significant changes
+	// first (largest |RelChange| first), then unchanged, then skipped;
+	// ties broken by pair name so the report is byte-deterministic.
+	Deltas []SeriesDelta
+
+	// OnlyBase and OnlyNew list pairs enabled in just one of the runs.
+	OnlyBase, OnlyNew []Pair
+}
+
+// Regressions returns the deltas with a regression verdict, in rank order.
+func (r *DiffReport) Regressions() []SeriesDelta {
+	var out []SeriesDelta
+	for _, d := range r.Deltas {
+		if d.Verdict == VerdictRegression {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Diff compares two materialized runs, base against new.
+func Diff(base, neu *RunView) *DiffReport {
+	rep := &DiffReport{Base: base.Meta, New: neu.Meta}
+	basePairs := base.Pairs()
+	newKeys := map[string]bool{}
+	for _, p := range neu.Pairs() {
+		newKeys[p.Key()] = true
+	}
+	baseKeys := map[string]bool{}
+	for _, p := range basePairs {
+		baseKeys[p.Key()] = true
+	}
+	for _, p := range neu.Pairs() {
+		if !baseKeys[p.Key()] {
+			rep.OnlyNew = append(rep.OnlyNew, p)
+		}
+	}
+	for _, p := range basePairs {
+		if !newKeys[p.Key()] {
+			rep.OnlyBase = append(rep.OnlyBase, p)
+			continue
+		}
+		rep.Deltas = append(rep.Deltas, comparePair(p,
+			base.SeriesFor(p).Histogram(), neu.SeriesFor(p).Histogram()))
+	}
+	rankDeltas(rep.Deltas)
+	return rep
+}
+
+// comparePair runs the paired-difference test over one pair's two
+// histograms.
+func comparePair(p Pair, hb, hn *metric.Histogram) SeriesDelta {
+	d := SeriesDelta{Pair: p}
+	rb, rn, width, reason := alignRates(hb, hn)
+	if reason != "" {
+		d.Verdict = VerdictSkipped
+		d.Skipped = reason
+		return d
+	}
+	d.BinWidth = width
+	d.Bins = len(rb)
+	d.BaseRate = stats.Mean(rb)
+	d.NewRate = stats.Mean(rn)
+	// PairedDiff computes a-b, so pass the new run first: MeanDiff > 0
+	// means the rate rose.
+	pr, err := stats.PairedDiff(rn, rb)
+	if err != nil {
+		d.Verdict = VerdictSkipped
+		d.Skipped = err.Error()
+		return d
+	}
+	d.MeanDiff = pr.MeanDiff
+	d.CI = pr.CI
+	switch {
+	case d.BaseRate != 0:
+		d.RelChange = d.MeanDiff / d.BaseRate
+	case d.MeanDiff != 0:
+		d.RelChange = math.NaN() // rose from zero: infinite relative change
+	}
+	switch {
+	case !pr.Significant:
+		d.Verdict = VerdictUnchanged
+	case d.MeanDiff > 0:
+		d.Verdict = VerdictRegression
+	default:
+		d.Verdict = VerdictImprovement
+	}
+	return d
+}
+
+// alignRates rebins both histograms to the coarser common bin width,
+// truncates to the shorter filled prefix, drops the endpoint bins, and
+// returns the interior per-bin rates. A non-empty reason means the pair
+// cannot be compared.
+func alignRates(hb, hn *metric.Histogram) (rb, rn []float64, width sim.Duration, reason string) {
+	if hb.NumFilled() == 0 || hn.NumFilled() == 0 {
+		return nil, nil, 0, "no data in one or both runs"
+	}
+	width = hb.BinWidth()
+	if hn.BinWidth() > width {
+		width = hn.BinWidth()
+	}
+	vb, ok := rebin(hb, width)
+	if !ok {
+		return nil, nil, 0, fmt.Sprintf("incompatible bin widths %v vs %v", hb.BinWidth(), hn.BinWidth())
+	}
+	vn, ok := rebin(hn, width)
+	if !ok {
+		return nil, nil, 0, fmt.Sprintf("incompatible bin widths %v vs %v", hb.BinWidth(), hn.BinWidth())
+	}
+	n := len(vb)
+	if len(vn) < n {
+		n = len(vn)
+	}
+	// Drop the endpoint bins: collection start and end fall somewhere
+	// inside them, so their values undercount (§5).
+	if n < 4 {
+		return nil, nil, 0, fmt.Sprintf("too few common bins (%d) for a paired test", n)
+	}
+	sec := width.Seconds()
+	rb = make([]float64, 0, n-2)
+	rn = make([]float64, 0, n-2)
+	for i := 1; i < n-1; i++ {
+		rb = append(rb, vb[i]/sec)
+		rn = append(rn, vn[i]/sec)
+	}
+	return rb, rn, width, ""
+}
+
+// rebin returns the histogram's filled values regrouped at the coarser
+// target width (summing runs of ratio bins). ok is false when the widths
+// are not integer multiples — histograms that started at different
+// granularities cannot be aligned.
+func rebin(h *metric.Histogram, target sim.Duration) ([]float64, bool) {
+	w := h.BinWidth()
+	if w <= 0 || target%w != 0 {
+		return nil, false
+	}
+	ratio := int(target / w)
+	vals := h.Values()
+	if ratio == 1 {
+		return vals, true
+	}
+	out := make([]float64, 0, (len(vals)+ratio-1)/ratio)
+	for i := 0; i < len(vals); i += ratio {
+		s := 0.0
+		for j := i; j < i+ratio && j < len(vals); j++ {
+			s += vals[j]
+		}
+		out = append(out, s)
+	}
+	return out, true
+}
+
+// rankDeltas orders: significant first by |RelChange| descending (NaN —
+// rose from zero — ranks above every finite change), then unchanged,
+// then skipped; pair names break every tie.
+func rankDeltas(ds []SeriesDelta) {
+	class := func(v Verdict) int {
+		switch v {
+		case VerdictRegression, VerdictImprovement:
+			return 0
+		case VerdictUnchanged:
+			return 1
+		default:
+			return 2
+		}
+	}
+	mag := func(d SeriesDelta) float64 {
+		if math.IsNaN(d.RelChange) {
+			return math.Inf(1)
+		}
+		return math.Abs(d.RelChange)
+	}
+	sort.SliceStable(ds, func(i, j int) bool {
+		ci, cj := class(ds[i].Verdict), class(ds[j].Verdict)
+		if ci != cj {
+			return ci < cj
+		}
+		if ci == 0 {
+			mi, mj := mag(ds[i]), mag(ds[j])
+			if mi != mj {
+				return mi > mj
+			}
+		}
+		return ds[i].Pair.Key() < ds[j].Pair.Key()
+	})
+}
+
+// describe renders one delta as a report line.
+func (d SeriesDelta) describe() string {
+	name := fmt.Sprintf("%s @ %s", d.Pair.Metric, d.Pair.Focus)
+	if d.Verdict == VerdictSkipped {
+		return fmt.Sprintf("%-11s %s: %s", d.Verdict, name, d.Skipped)
+	}
+	rel := "n/a"
+	if !math.IsNaN(d.RelChange) {
+		rel = fmt.Sprintf("%+.1f%%", d.RelChange*100)
+	}
+	return fmt.Sprintf("%-11s %s: %.6g/s -> %.6g/s (%s, CI %s, n=%d @ %v)",
+		d.Verdict, name, d.BaseRate, d.NewRate, rel, d.CI, d.Bins, d.BinWidth)
+}
+
+// Render produces the ranked, byte-deterministic diff report.
+func (r *DiffReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "perfdb diff: %s -> %s\n", runTitle(r.Base), runTitle(r.New))
+	fmt.Fprintf(&b, "  base: %s\n", r.Base.Describe())
+	fmt.Fprintf(&b, "  new:  %s\n", r.New.Describe())
+	if r.Base.Verdict != "" || r.New.Verdict != "" {
+		fmt.Fprintf(&b, "  consultant: base %s\n", orDash(r.Base.Verdict))
+		fmt.Fprintf(&b, "              new  %s\n", orDash(r.New.Verdict))
+	}
+	if len(r.Deltas) == 0 {
+		b.WriteString("no comparable metric-focus pairs\n")
+	}
+	for _, d := range r.Deltas {
+		b.WriteString("  " + d.describe() + "\n")
+	}
+	for _, p := range r.OnlyBase {
+		fmt.Fprintf(&b, "  only in base: %s @ %s\n", p.Metric, p.Focus)
+	}
+	for _, p := range r.OnlyNew {
+		fmt.Fprintf(&b, "  only in new:  %s @ %s\n", p.Metric, p.Focus)
+	}
+	nReg := len(r.Regressions())
+	nSig := 0
+	for _, d := range r.Deltas {
+		if d.Verdict == VerdictRegression || d.Verdict == VerdictImprovement {
+			nSig++
+		}
+	}
+	fmt.Fprintf(&b, "%d pairs compared, %d significant (%d regressions)\n",
+		len(r.Deltas), nSig, nReg)
+	return b.String()
+}
+
+func runTitle(m RunMeta) string {
+	if m.Label != "" {
+		return fmt.Sprintf("%s (%s)", m.ID, m.Label)
+	}
+	return m.ID
+}

@@ -1,0 +1,54 @@
+package perfdb
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// FuzzChunkDecoder: ReadArchive over arbitrary bytes must return an
+// archive or an error — never panic, never allocate unboundedly from a
+// corrupt length field.
+func FuzzChunkDecoder(f *testing.F) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{2, 40, 600} {
+		var buf bytes.Buffer
+		if err := WriteArchive(&buf, syntheticArchive(rng, n)); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		// Seed some deliberate corruptions so coverage starts past the
+		// magic check.
+		mut := append([]byte(nil), buf.Bytes()...)
+		mut[10] ^= 0xff
+		f.Add(mut)
+		f.Add(buf.Bytes()[:buf.Len()/2])
+	}
+	f.Add([]byte("PPDBA1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := ReadArchive(bytes.NewReader(data))
+		if err == nil && a == nil {
+			t.Error("nil archive with nil error")
+		}
+	})
+}
+
+// FuzzUnpackSamples: the delta codec's decoder must be total.
+func FuzzUnpackSamples(f *testing.F) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{0, 1, 30} {
+		f.Add(packSamples(randomBatch(rng, n)))
+	}
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		batch, err := unpackSamples(data)
+		if err == nil {
+			// A clean decode must re-encode losslessly (bit-exact floats).
+			again, err2 := unpackSamples(packSamples(batch))
+			if err2 != nil || len(again) != len(batch) {
+				t.Errorf("re-encode of a clean decode failed: %v (%d vs %d samples)", err2, len(again), len(batch))
+			}
+		}
+	})
+}

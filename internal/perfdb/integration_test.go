@@ -1,0 +1,237 @@
+package perfdb_test
+
+// Integration against the real harness: compacted archives must replay
+// byte-identically to uncompacted ones, the streaming recorder must
+// capture the same stream as the in-memory recorder, and a store of two
+// recorded runs must produce a deterministic ranked regression report.
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"pperf/internal/datasource"
+	"pperf/internal/faults"
+	"pperf/internal/mpi"
+	"pperf/internal/perfdb"
+	"pperf/internal/pperfmark"
+	"pperf/internal/session"
+)
+
+// fingerprint renders everything a replay consumer observes about a
+// Result, so two replays can be compared byte for byte.
+func fingerprint(t *testing.T, res *pperfmark.Result) string {
+	t.Helper()
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "program=%s impl=%s runtime=%v probes=%d coverage=%.4f\n",
+		res.Program, res.Impl, res.RunTime, res.ProbeExecs, res.Coverage)
+	for _, ev := range res.FaultLog {
+		fmt.Fprintln(&b, "fault:", ev)
+	}
+	if res.PC != nil {
+		b.WriteString(res.PC.Render())
+		b.WriteString(res.PC.RenderFull())
+		b.WriteString(res.PC.Export().String())
+		b.WriteByte('\n')
+	}
+	b.WriteString(res.Source.Hierarchy().Render())
+	csv := res.Source.(interface {
+		ExportCSV(s *datasource.Series) string
+	})
+	if res.BytesSent != nil {
+		b.WriteString(csv.ExportCSV(res.BytesSent))
+	}
+	return b.String()
+}
+
+// record runs a program live with the in-memory recorder attached.
+func record(t *testing.T, prog string, opt pperfmark.RunOptions) *session.Archive {
+	t.Helper()
+	rec := session.NewRecorder()
+	opt.Record = rec
+	if _, err := pperfmark.Run(prog, opt); err != nil {
+		t.Fatal(err)
+	}
+	return rec.Archive()
+}
+
+// compact round-trips an archive through the chunked encoder.
+func compact(t *testing.T, a *session.Archive) *session.Archive {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := perfdb.WriteArchive(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	got, err := perfdb.ReadArchive(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Truncated {
+		t.Fatal("compacted archive loaded as truncated")
+	}
+	return got
+}
+
+func replayFingerprint(t *testing.T, a *session.Archive) string {
+	t.Helper()
+	res, err := pperfmark.Replay(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fingerprint(t, res)
+}
+
+// TestCompactionReplayIdentical is the acceptance bar: a delta-encoded
+// chunked archive replays byte-for-byte identically to the uncompacted
+// original — healthy run and fault run both.
+func TestCompactionReplayIdentical(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  pperfmark.RunOptions
+	}{
+		{"healthy", pperfmark.RunOptions{Impl: mpi.LAM, Seed: 7}},
+	}
+	if plan, err := faults.Parse("t=2s kill-node node1"); err != nil {
+		t.Fatal(err)
+	} else {
+		cases = append(cases, struct {
+			name string
+			opt  pperfmark.RunOptions
+		}{"faulted", pperfmark.RunOptions{Impl: mpi.LAM, Seed: 7, Faults: plan}})
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := record(t, "small-messages", tc.opt)
+			orig := replayFingerprint(t, a)
+			comp := replayFingerprint(t, compact(t, a))
+			if orig != comp {
+				i := 0
+				for i < len(orig) && i < len(comp) && orig[i] == comp[i] {
+					i++
+				}
+				t.Errorf("compacted replay diverges at byte %d: %q vs %q",
+					i, tail(orig, i), tail(comp, i))
+			}
+		})
+	}
+}
+
+func tail(s string, i int) string {
+	lo, hi := i-60, i+60
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(s) {
+		hi = len(s)
+	}
+	return s[lo:hi]
+}
+
+// TestStreamRecorderMatchesInMemory: two identically-seeded live runs,
+// one recorded in memory, one streamed to disk in chunks, must replay to
+// the same fingerprint.
+func TestStreamRecorderMatchesInMemory(t *testing.T) {
+	mem := record(t, "small-messages", pperfmark.RunOptions{Impl: mpi.LAM, Seed: 7})
+
+	path := filepath.Join(t.TempDir(), "run.ppdb")
+	srec, err := perfdb.NewStreamRecorder(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srec.SetChunkEvents(32) // several chunk flushes over the run
+	if _, err := pperfmark.Run("small-messages", pperfmark.RunOptions{Impl: mpi.LAM, Seed: 7, Record: srec}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if srec.PeakBufferedEvents() > 32 {
+		t.Errorf("streaming recorder buffered %d events; chunk size is 32", srec.PeakBufferedEvents())
+	}
+	streamed, err := perfdb.LoadArchive(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed.Header.NumEvents != mem.Header.NumEvents {
+		t.Errorf("streamed %d events, in-memory %d", streamed.Header.NumEvents, mem.Header.NumEvents)
+	}
+	if a, b := replayFingerprint(t, mem), replayFingerprint(t, streamed); a != b {
+		t.Error("streamed recording replays differently from the in-memory recording")
+	}
+}
+
+// TestStoreDiffEndToEnd records a healthy and a degraded run of the same
+// program into a store and checks the cross-run diagnosis: significant
+// per-focus regressions, ranked, byte-deterministic across rebuilds.
+func TestStoreDiffEndToEnd(t *testing.T) {
+	st, err := perfdb.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runInto := func(label, faultSpec string) perfdb.RunMeta {
+		t.Helper()
+		opt := pperfmark.RunOptions{Impl: mpi.LAM, Seed: 7}
+		if faultSpec != "" {
+			plan, err := faults.Parse(faultSpec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt.Faults = plan
+		}
+		rec, err := st.NewRecorder()
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt.Record = rec
+		res, err := pperfmark.Run("big-message", opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := st.Commit(rec, perfdb.AddMeta{Label: label, Verdict: res.PC.Export().String()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	healthy := runInto("healthy", "")
+	degraded := runInto("degraded", "t=500ms degrade-link * bw=0.1")
+	if healthy.Faults != "" || degraded.Faults == "" {
+		t.Errorf("fault plans in index: healthy=%q degraded=%q", healthy.Faults, degraded.Faults)
+	}
+	if healthy.Verdict == "" || degraded.Verdict == "" {
+		t.Error("consultant verdicts missing from the index")
+	}
+
+	diffOnce := func() string {
+		base, err := st.OpenRun("healthy")
+		if err != nil {
+			t.Fatal(err)
+		}
+		neu, err := st.OpenRun("degraded")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := perfdb.Diff(base, neu)
+		if len(rep.Regressions()) == 0 {
+			t.Fatal("bandwidth-degraded run produced no significant regressions")
+		}
+		// Significant deltas rank above unchanged ones.
+		sawUnchanged := false
+		for _, d := range rep.Deltas {
+			switch d.Verdict {
+			case perfdb.VerdictRegression, perfdb.VerdictImprovement:
+				if sawUnchanged {
+					t.Error("significant delta ranked below an unchanged one")
+				}
+			case perfdb.VerdictUnchanged:
+				sawUnchanged = true
+			}
+		}
+		return rep.Render()
+	}
+	r1, r2 := diffOnce(), diffOnce()
+	if r1 != r2 {
+		t.Error("diff report not byte-deterministic across rebuilds")
+	}
+}

@@ -1,0 +1,326 @@
+package perfdb
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"pperf/internal/session"
+)
+
+// A Store is a directory of compacted run archives plus a metadata index:
+//
+//	<dir>/index.json      the run index (this file is the store)
+//	<dir>/runs/<id>.ppdb  one chunked archive per stored run
+//
+// IDs are assigned sequentially (r0001, r0002, …) so a scripted sequence
+// of adds is deterministic. The index is rewritten atomically (temp file
+// + rename) on every mutation; files in runs/ not referenced by the index
+// are garbage a GC sweep removes.
+type Store struct {
+	dir   string
+	index storeIndex
+}
+
+// indexVersion versions index.json; Open refuses a newer index rather
+// than silently dropping fields.
+const indexVersion = 1
+
+type storeIndex struct {
+	Version int       `json:"version"`
+	NextID  int       `json:"next_id"`
+	Runs    []RunMeta `json:"runs"`
+}
+
+// RunMeta is one stored run's index entry. The descriptive fields come
+// from the archive header's Meta map (stamped by the recording harness);
+// Verdict is the Consultant's exported summary, supplied by the caller at
+// add time (the store itself never replays).
+type RunMeta struct {
+	ID    string `json:"id"`
+	Label string `json:"label,omitempty"`
+
+	Program string `json:"program,omitempty"`
+	Impl    string `json:"impl,omitempty"`
+	Seed    string `json:"seed,omitempty"`
+	Procs   string `json:"procs,omitempty"`
+	Nodes   string `json:"nodes,omitempty"`
+	Faults  string `json:"faults,omitempty"`
+	Runtime string `json:"runtime,omitempty"`
+
+	Verdict string `json:"verdict,omitempty"`
+
+	Events    int   `json:"events"`
+	Bytes     int64 `json:"bytes"`
+	Truncated bool  `json:"truncated,omitempty"`
+}
+
+// Describe renders the one-line summary `db list` prints.
+func (m RunMeta) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %-18s %-9s seed=%-10s", m.ID, orDash(m.Program), orDash(m.Impl), orDash(m.Seed))
+	fmt.Fprintf(&b, " runtime=%-9s events=%-7d", orDash(m.Runtime), m.Events)
+	if m.Faults != "" {
+		fmt.Fprintf(&b, " faults=%q", m.Faults)
+	}
+	if m.Label != "" {
+		fmt.Fprintf(&b, " label=%q", m.Label)
+	}
+	if m.Truncated {
+		b.WriteString(" [truncated]")
+	}
+	return b.String()
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// Open opens (creating if needed) the store at dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "runs"), 0o755); err != nil {
+		return nil, err
+	}
+	st := &Store{dir: dir, index: storeIndex{Version: indexVersion, NextID: 1}}
+	data, err := os.ReadFile(st.indexPath())
+	if errors.Is(err, os.ErrNotExist) {
+		return st, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(data, &st.index); err != nil {
+		return nil, fmt.Errorf("perfdb: corrupt store index %s: %v", st.indexPath(), err)
+	}
+	if st.index.Version > indexVersion {
+		return nil, fmt.Errorf("perfdb: store index version %d; this build reads version %d", st.index.Version, indexVersion)
+	}
+	if st.index.NextID < 1 {
+		st.index.NextID = 1
+	}
+	return st, nil
+}
+
+// Dir returns the store's directory.
+func (st *Store) Dir() string { return st.dir }
+
+func (st *Store) indexPath() string { return filepath.Join(st.dir, "index.json") }
+
+// RunPath returns the archive path of a stored run.
+func (st *Store) RunPath(id string) string {
+	return filepath.Join(st.dir, "runs", id+".ppdb")
+}
+
+// Runs returns the index entries in store order.
+func (st *Store) Runs() []RunMeta {
+	return append([]RunMeta(nil), st.index.Runs...)
+}
+
+// Get returns the index entry for id.
+func (st *Store) Get(id string) (RunMeta, error) {
+	for _, m := range st.index.Runs {
+		if m.ID == id || (m.Label != "" && m.Label == id) {
+			return m, nil
+		}
+	}
+	return RunMeta{}, fmt.Errorf("perfdb: no run %q in store %s (try `db list`)", id, st.dir)
+}
+
+// saveIndex writes index.json atomically.
+func (st *Store) saveIndex() error {
+	data, err := json.MarshalIndent(&st.index, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := st.indexPath() + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, st.indexPath())
+}
+
+// metaFromHeader fills the descriptive fields from an archive header.
+func metaFromHeader(m *RunMeta, h session.Header) {
+	m.Program = h.Meta["program"]
+	m.Impl = h.Meta["impl"]
+	m.Seed = h.Meta["seed"]
+	m.Procs = h.Meta["procs"]
+	m.Nodes = h.Meta["nodes"]
+	m.Faults = h.Meta["faults"]
+	m.Runtime = h.Meta["runtime"]
+}
+
+// nextID reserves the next sequential run ID.
+func (st *Store) nextID() string {
+	id := fmt.Sprintf("r%04d", st.index.NextID)
+	st.index.NextID++
+	return id
+}
+
+// AddMeta carries the caller-supplied parts of an index entry.
+type AddMeta struct {
+	// Label is an optional human alias (Get resolves it like an ID).
+	Label string
+	// Verdict is the Consultant's exported summary for the run, or "".
+	Verdict string
+}
+
+// AddArchive stores a loaded session archive, re-encoding it in chunked
+// compacted form, and appends its index entry. The source archive may be
+// either format — this is how v1 `-record` files are ingested.
+func (st *Store) AddArchive(a *session.Archive, am AddMeta) (RunMeta, error) {
+	if err := st.checkLabel(am.Label); err != nil {
+		return RunMeta{}, err
+	}
+	id := st.nextID()
+	path := st.RunPath(id)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return RunMeta{}, err
+	}
+	if err := WriteArchive(f, a); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return RunMeta{}, err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return RunMeta{}, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return RunMeta{}, err
+	}
+	return st.commitMeta(id, path, a.Header, len(a.Events), a.Truncated, am)
+}
+
+// NewRecorder opens a streaming recorder that records straight into the
+// store: the live run's event stream lands in chunked compacted form
+// without an intermediate buffer-everything archive. Commit the recorder
+// when the run finishes; an uncommitted temp file is GC fodder.
+func (st *Store) NewRecorder() (*StreamRecorder, error) {
+	id := st.nextID()
+	if err := st.saveIndex(); err != nil {
+		// Persist the reservation so a concurrent add cannot collide
+		// with the recording in flight.
+		return nil, err
+	}
+	return NewStreamRecorder(st.RunPath(id))
+}
+
+// Commit finalizes a recorder obtained from NewRecorder and appends the
+// run's index entry.
+func (st *Store) Commit(rec *StreamRecorder, am AddMeta) (RunMeta, error) {
+	if err := st.checkLabel(am.Label); err != nil {
+		rec.Abort()
+		return RunMeta{}, err
+	}
+	if err := rec.Close(); err != nil {
+		return RunMeta{}, err
+	}
+	path := rec.Path()
+	id := strings.TrimSuffix(filepath.Base(path), ".ppdb")
+	return st.commitMeta(id, path, rec.Header(), rec.EventCount(), false, am)
+}
+
+func (st *Store) commitMeta(id, path string, h session.Header, events int, truncated bool, am AddMeta) (RunMeta, error) {
+	m := RunMeta{ID: id, Label: am.Label, Verdict: am.Verdict, Events: events, Truncated: truncated}
+	metaFromHeader(&m, h)
+	if fi, err := os.Stat(path); err == nil {
+		m.Bytes = fi.Size()
+	}
+	st.index.Runs = append(st.index.Runs, m)
+	if err := st.saveIndex(); err != nil {
+		return RunMeta{}, err
+	}
+	return m, nil
+}
+
+// checkLabel refuses a label that collides with an existing ID or label,
+// keeping Get unambiguous.
+func (st *Store) checkLabel(label string) error {
+	if label == "" {
+		return nil
+	}
+	for _, m := range st.index.Runs {
+		if m.ID == label || m.Label == label {
+			return fmt.Errorf("perfdb: label %q collides with stored run %s", label, m.ID)
+		}
+	}
+	return nil
+}
+
+// Load loads a stored run's archive.
+func (st *Store) Load(id string) (*session.Archive, error) {
+	m, err := st.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	return LoadArchive(st.RunPath(m.ID))
+}
+
+// OpenRun loads a stored run and materializes its full DataSource view.
+func (st *Store) OpenRun(id string) (*RunView, error) {
+	m, err := st.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	a, err := LoadArchive(st.RunPath(m.ID))
+	if err != nil {
+		return nil, err
+	}
+	return NewRunView(a, m), nil
+}
+
+// Remove drops a run from the index and deletes its archive.
+func (st *Store) Remove(id string) error {
+	m, err := st.Get(id)
+	if err != nil {
+		return err
+	}
+	kept := st.index.Runs[:0]
+	for _, r := range st.index.Runs {
+		if r.ID != m.ID {
+			kept = append(kept, r)
+		}
+	}
+	st.index.Runs = kept
+	if err := st.saveIndex(); err != nil {
+		return err
+	}
+	return os.Remove(st.RunPath(m.ID))
+}
+
+// GC removes files under runs/ that no index entry references — crashed
+// recordings' temp files, archives of removed runs — and returns the
+// removed names, sorted.
+func (st *Store) GC() ([]string, error) {
+	referenced := map[string]bool{}
+	for _, m := range st.index.Runs {
+		referenced[m.ID+".ppdb"] = true
+	}
+	entries, err := os.ReadDir(filepath.Join(st.dir, "runs"))
+	if err != nil {
+		return nil, err
+	}
+	var removed []string
+	for _, e := range entries {
+		if e.IsDir() || referenced[e.Name()] {
+			continue
+		}
+		if err := os.Remove(filepath.Join(st.dir, "runs", e.Name())); err != nil {
+			return removed, err
+		}
+		removed = append(removed, e.Name())
+	}
+	sort.Strings(removed)
+	return removed, nil
+}

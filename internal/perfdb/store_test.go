@@ -1,0 +1,140 @@
+package perfdb
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pperf/internal/sim"
+)
+
+func TestStoreAddListRemoveGC(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	a := syntheticArchive(rng, 200)
+
+	m1, err := st.AddArchive(a, AddMeta{Label: "baseline", Verdict: "sync=true(0.9)"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.ID != "r0001" || m1.Program != "synthetic" || m1.Events != 200 || m1.Bytes == 0 {
+		t.Errorf("first run meta: %+v", m1)
+	}
+	m2, err := st.AddArchive(a, AddMeta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.ID != "r0002" {
+		t.Errorf("second ID %q", m2.ID)
+	}
+
+	// Labels resolve like IDs; collisions are refused.
+	if got, err := st.Get("baseline"); err != nil || got.ID != "r0001" {
+		t.Errorf("Get(label) = %+v, %v", got, err)
+	}
+	if _, err := st.AddArchive(a, AddMeta{Label: "baseline"}); err == nil {
+		t.Error("duplicate label accepted")
+	}
+	if _, err := st.AddArchive(a, AddMeta{Label: "r0001"}); err == nil {
+		t.Error("label shadowing an ID accepted")
+	}
+
+	// The index survives reopening.
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs := st2.Runs(); len(runs) != 2 || runs[0].Verdict != "sync=true(0.9)" {
+		t.Fatalf("reopened store: %+v", runs)
+	}
+
+	// Stored archives load and materialize.
+	rv, err := st2.OpenRun("r0001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rv.Pairs()) != 1 { // m1 enabled, m2's enable failed
+		t.Errorf("pairs: %+v", rv.Pairs())
+	}
+
+	// Remove drops the entry and the file; GC sweeps strays.
+	stray := filepath.Join(dir, "runs", "r0099.ppdb.tmp")
+	if err := os.WriteFile(stray, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Remove("r0002"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st2.Get("r0002"); err == nil {
+		t.Error("removed run still resolves")
+	}
+	removed, err := st2.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 || removed[0] != "r0099.ppdb.tmp" {
+		t.Errorf("GC removed %v", removed)
+	}
+	if _, err := os.Stat(st2.RunPath("r0001")); err != nil {
+		t.Errorf("GC touched a referenced archive: %v", err)
+	}
+}
+
+func TestStoreRecorderCommit(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := st.NewRecorder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.SetHistogram(100, 50*sim.Millisecond)
+	src := syntheticArchive(rand.New(rand.NewSource(4)), 300)
+	replayEventsInto(rec, src.Events)
+	rec.SetMeta("program", "streamed")
+	m, err := st.Commit(rec, AddMeta{Label: "live", Verdict: "cpu=false(0.1)"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ID != "r0001" || m.Program != "streamed" || m.Events != 300 {
+		t.Errorf("committed meta: %+v", m)
+	}
+	rv, err := st.OpenRun("live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rv.Meta.Verdict != "cpu=false(0.1)" {
+		t.Errorf("verdict: %q", rv.Meta.Verdict)
+	}
+
+	// A second recorder reserves the next ID even though the first was
+	// committed in between.
+	rec2, err := st.NewRecorder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec2.SetHistogram(0, 0)
+	m2, err := st.Commit(rec2, AddMeta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.ID != "r0002" {
+		t.Errorf("second recorder ID %q", m2.ID)
+	}
+}
+
+func TestStoreRefusesNewerIndex(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "index.json"), []byte(`{"version":99,"next_id":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Error("version-99 index opened by a version-1 reader")
+	}
+}

@@ -1,0 +1,223 @@
+package perfdb
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"pperf/internal/datasource"
+	"pperf/internal/resource"
+	"pperf/internal/session"
+	"pperf/internal/sim"
+	"pperf/internal/trace"
+)
+
+// StreamRecorder is the bounded-memory counterpart of session.Recorder:
+// instead of buffering the whole event stream in RAM and writing it on
+// Save, it streams events through the chunk writer to disk as the run
+// progresses, holding at most one chunk's worth of events (plus the file
+// buffer) regardless of run length. It implements session.Sink, so it
+// plugs into core.Options.Recorder / pperfmark.RunOptions.Record exactly
+// like the in-memory recorder.
+//
+// Write errors are latched and surfaced at Close — the recording hooks
+// sit on the front end's ingest path and must not fail mid-run.
+type StreamRecorder struct {
+	mu     sync.Mutex
+	w      *Writer
+	f      *os.File
+	tmp    string
+	path   string
+	header session.Header
+	closed bool
+	err    error
+}
+
+var _ session.Sink = (*StreamRecorder)(nil)
+
+// NewStreamRecorder opens a streaming recorder writing to path (through a
+// temp file renamed into place on Close, so a crashed run never leaves a
+// file that parses as complete).
+func NewStreamRecorder(path string) (*StreamRecorder, error) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return nil, err
+	}
+	w, err := NewWriter(f)
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil, err
+	}
+	return &StreamRecorder{
+		w: w, f: f, tmp: tmp, path: path,
+		header: session.Header{Version: session.Version, Meta: map[string]string{}},
+	}, nil
+}
+
+// SetChunkEvents overrides the chunk granularity (events per chunk)
+// before recording starts; tests use small chunks to assert the memory
+// bound tightly.
+func (r *StreamRecorder) SetChunkEvents(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.w.FlushEvents = n
+}
+
+// SetHistogram records the front end's histogram configuration. Called by
+// core.NewSession before any event, it also triggers the provisional
+// header chunk so truncated archives replay with the right bin layout.
+func (r *StreamRecorder) SetHistogram(numBins int, binWidth sim.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.header.NumBins, r.header.BinWidth = numBins, binWidth
+}
+
+// SetMeta stores one descriptive key/value pair (written with the trailer).
+func (r *StreamRecorder) SetMeta(k, v string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.header.Meta[k] = v
+}
+
+// SetExtra stores the harness's opaque run description (written with the
+// trailer).
+func (r *StreamRecorder) SetExtra(b []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.header.Extra = b
+}
+
+// EventCount returns the number of events recorded so far.
+func (r *StreamRecorder) EventCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.w.EventCount()
+}
+
+// PeakBufferedEvents returns the most events ever held in memory at once —
+// the figure the bounded-memory test asserts stays at the chunk size no
+// matter how long the run.
+func (r *StreamRecorder) PeakBufferedEvents() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.w.PeakBuffered()
+}
+
+// append streams one event, emitting the provisional header chunk first.
+func (r *StreamRecorder) append(ev session.Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil || r.closed {
+		return
+	}
+	if r.w.EventCount() == 0 {
+		if err := r.w.writeHeaderChunk(provisionalHeader(r.header)); err != nil {
+			r.err = err
+			return
+		}
+	}
+	if err := r.w.Append(ev); err != nil {
+		r.err = err
+	}
+}
+
+// RecordSamples captures a sample batch. The batch is copied: the front
+// end keeps ownership of its slice, and the copy lives only until its
+// chunk flushes.
+func (r *StreamRecorder) RecordSamples(batch []datasource.Sample) {
+	cp := make([]datasource.Sample, len(batch))
+	copy(cp, batch)
+	r.append(session.Event{Kind: session.EvSamples, Samples: cp})
+}
+
+// RecordUpdate captures one resource-update report.
+func (r *StreamRecorder) RecordUpdate(u datasource.Update) {
+	r.append(session.Event{Kind: session.EvUpdate, Update: u})
+}
+
+// RecordEnable captures a metric-enable outcome.
+func (r *StreamRecorder) RecordEnable(metricName string, focus resource.Focus, errMsg string) {
+	r.append(session.Event{Kind: session.EvEnable, Metric: metricName, Focus: focus, Err: errMsg})
+}
+
+// RecordStale captures a liveness verdict.
+func (r *StreamRecorder) RecordStale(daemonName string, t sim.Time) {
+	r.append(session.Event{Kind: session.EvStale, Daemon: daemonName, Time: t})
+}
+
+// RecordGap captures one unmeasured outage window.
+func (r *StreamRecorder) RecordGap(g datasource.Gap) {
+	r.append(session.Event{Kind: session.EvGap, Gap: g})
+}
+
+// RecordShard captures one trace shard.
+func (r *StreamRecorder) RecordShard(sh trace.Shard) {
+	r.append(session.Event{Kind: session.EvShard, Shard: sh})
+}
+
+// RecordUndelivered captures undelivered-span accounting.
+func (r *StreamRecorder) RecordUndelivered(proc string, n int64) {
+	r.append(session.Event{Kind: session.EvUndelivered, Proc: proc, N: n})
+}
+
+// RecordBarrier stamps a consumer read barrier into the stream.
+func (r *StreamRecorder) RecordBarrier() {
+	r.append(session.Event{Kind: session.EvBarrier})
+}
+
+// Header returns the finalized header (valid after Close).
+func (r *StreamRecorder) Header() session.Header {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.header
+}
+
+// Path returns the destination path the archive lands at on Close.
+func (r *StreamRecorder) Path() string { return r.path }
+
+// Close flushes the final chunk, writes the trailer with the finalized
+// header, syncs the temp file, and renames it into place. It reports the
+// first error from anywhere in the recording.
+func (r *StreamRecorder) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return r.err
+	}
+	r.closed = true
+	if r.err == nil && r.w.EventCount() == 0 {
+		// Empty recording: still emit the header chunk so the file is a
+		// valid (if eventless) archive.
+		r.err = r.w.writeHeaderChunk(provisionalHeader(r.header))
+	}
+	if r.err == nil {
+		r.header.NumEvents = r.w.EventCount()
+		r.err = r.w.Close(r.header)
+	}
+	if cerr := r.f.Close(); r.err == nil {
+		r.err = cerr
+	}
+	if r.err != nil {
+		os.Remove(r.tmp)
+		return fmt.Errorf("perfdb: stream recording failed: %w", r.err)
+	}
+	if err := os.Rename(r.tmp, r.path); err != nil {
+		r.err = err
+		return err
+	}
+	return nil
+}
+
+// Abort discards the recording, removing the temp file.
+func (r *StreamRecorder) Abort() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	r.closed = true
+	r.f.Close()
+	os.Remove(r.tmp)
+}

@@ -1,0 +1,79 @@
+package perfdb
+
+import (
+	"sort"
+
+	"pperf/internal/datasource"
+	"pperf/internal/resource"
+	"pperf/internal/session"
+)
+
+// Pair names one enabled metric-focus pair of a stored run.
+type Pair struct {
+	Metric string
+	Focus  resource.Focus
+}
+
+// Key returns the pair's registry key, the unit of cross-run alignment.
+func (p Pair) Key() string { return datasource.SeriesKey(p.Metric, p.Focus) }
+
+// RunView is a stored run materialized for querying: the full recorded
+// event stream applied to a datasource.View (the same query plane the
+// live front end exposes), plus the run's index entry. Unlike
+// session.ReplaySource — which replays incrementally so a re-driven
+// Consultant sees the live evaluation windows — a RunView is the run's
+// end state: every recorded pair enabled, every event applied.
+type RunView struct {
+	*session.ReplaySource
+	Meta RunMeta
+
+	pairs []Pair
+}
+
+// RunView serves DataSource queries like any other source.
+var _ datasource.DataSource = (*RunView)(nil)
+
+// NewRunView materializes an archive's end state. Pairs whose live
+// enable failed are left out — they never collected data.
+func NewRunView(a *session.Archive, m RunMeta) *RunView {
+	rs := session.NewReplaySource(a)
+	rv := &RunView{ReplaySource: rs, Meta: m}
+	seen := map[string]bool{}
+	// Register every successfully-enabled pair before applying events:
+	// the view drops samples for unregistered pairs.
+	for i := range a.Events {
+		ev := &a.Events[i]
+		if ev.Kind != session.EvEnable || ev.Err != "" {
+			continue
+		}
+		p := Pair{Metric: ev.Metric, Focus: ev.Focus}
+		if seen[p.Key()] {
+			continue
+		}
+		seen[p.Key()] = true
+		if _, err := rs.EnableMetric(ev.Metric, ev.Focus); err == nil {
+			rv.pairs = append(rv.pairs, p)
+		}
+	}
+	sort.Slice(rv.pairs, func(i, j int) bool {
+		a, b := rv.pairs[i], rv.pairs[j]
+		if a.Metric != b.Metric {
+			return a.Metric < b.Metric
+		}
+		return a.Focus.Key() < b.Focus.Key()
+	})
+	rs.Drain()
+	return rv
+}
+
+// Pairs returns the run's enabled metric-focus pairs, sorted by metric
+// then focus.
+func (rv *RunView) Pairs() []Pair {
+	return append([]Pair(nil), rv.pairs...)
+}
+
+// SeriesFor returns the collected series of one pair (nil if the run
+// never enabled it).
+func (rv *RunView) SeriesFor(p Pair) *datasource.Series {
+	return rv.Series(p.Metric, p.Focus)
+}

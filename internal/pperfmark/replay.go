@@ -72,15 +72,56 @@ func finishRecording(opt RunOptions, res *Result, pcCfg consultant.Config) {
 	rec.SetMeta("program", res.Program)
 	rec.SetMeta("impl", res.Impl.String())
 	rec.SetMeta("seed", fmt.Sprintf("%d", opt.Seed))
+	// The experiment-store index (internal/perfdb) reads these without
+	// decoding the harness payload.
+	rec.SetMeta("procs", fmt.Sprintf("%d", res.Params.Procs))
+	rec.SetMeta("nodes", fmt.Sprintf("%d", opt.Nodes))
+	rec.SetMeta("runtime", res.RunTime.String())
+	if opt.Faults != nil {
+		rec.SetMeta("faults", opt.Faults.String())
+	}
 }
 
-// Replay re-runs the analysis plane of a recorded session offline: it
-// rebuilds the DataSource view from the archive's event stream, re-drives
-// the Performance Consultant with the recorded configuration on a fresh
+// ReplayOptions override pieces of the recorded analysis configuration
+// for "what-if" replay: the same recorded event stream is re-analyzed
+// under altered Performance Consultant thresholds, so a threshold change
+// can be evaluated without re-running (or even having) the original
+// cluster. Zero values keep the recorded configuration.
+type ReplayOptions struct {
+	// SyncThreshold, IOThreshold, CPUThreshold override the recorded
+	// hypothesis-test fractions when > 0.
+	SyncThreshold float64
+	IOThreshold   float64
+	CPUThreshold  float64
+}
+
+// override returns the recorded config with the non-zero overrides applied.
+func (o ReplayOptions) override(cfg consultant.Config) consultant.Config {
+	if o.SyncThreshold > 0 {
+		cfg.SyncThreshold = o.SyncThreshold
+	}
+	if o.IOThreshold > 0 {
+		cfg.IOThreshold = o.IOThreshold
+	}
+	if o.CPUThreshold > 0 {
+		cfg.CPUThreshold = o.CPUThreshold
+	}
+	return cfg
+}
+
+// Replay re-runs the analysis plane of a recorded session offline with
+// the recorded configuration: it rebuilds the DataSource view from the
+// archive's event stream, re-drives the Performance Consultant on a fresh
 // virtual clock, and returns a Result equivalent to the live one — same
 // findings, same series, same hierarchy, same timeline — without
 // simulating the cluster, the MPI implementation, or the daemons.
 func Replay(a *session.Archive) (*Result, error) {
+	return ReplayWith(a, ReplayOptions{})
+}
+
+// ReplayWith is Replay with what-if overrides applied over the recorded
+// Consultant configuration (see ReplayOptions).
+func ReplayWith(a *session.Archive, o ReplayOptions) (*Result, error) {
 	if len(a.Header.Extra) == 0 {
 		return nil, fmt.Errorf("pperfmark: archive carries no run description (not recorded by this harness?)")
 	}
@@ -156,7 +197,7 @@ func Replay(a *session.Archive) (*Result, error) {
 	// Sync, which advances the replay to the matching recorded barrier.
 	eng := sim.NewEngine(info.Seed)
 	if !info.DisablePC {
-		res.PC = consultant.New(rs, eng, info.PC)
+		res.PC = consultant.New(rs, eng, o.override(info.PC))
 		if err := res.PC.Start(); err != nil {
 			return nil, err
 		}

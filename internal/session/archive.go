@@ -156,6 +156,25 @@ func (a *Archive) TruncationNote() string {
 	return fmt.Sprintf("[replay truncated after %d events]", len(a.Events))
 }
 
+// Sink is the full recording surface a session harness drives: the
+// datasource event hooks plus header finalization and accounting. Two
+// implementations exist — the in-memory Recorder below (buffer
+// everything, write on Save) and perfdb's streaming recorder (bounded
+// memory, chunks flushed to disk as the run progresses). core.Options
+// and pperfmark.RunOptions accept either.
+type Sink interface {
+	datasource.Recorder
+	// SetHistogram records the front end's histogram configuration so
+	// replay folds samples into identical bins.
+	SetHistogram(numBins int, binWidth sim.Duration)
+	// SetMeta stores one descriptive header key/value pair.
+	SetMeta(k, v string)
+	// SetExtra stores the harness's opaque run-description payload.
+	SetExtra(b []byte)
+	// EventCount returns the number of events captured so far.
+	EventCount() int
+}
+
 // Recorder buffers the event stream in memory and writes the archive on
 // Save. It implements datasource.Recorder; attach it with
 // FrontEnd.SetRecorder (core.Options.Recorder does this) before Launch so
@@ -166,7 +185,7 @@ type Recorder struct {
 	events []Event
 }
 
-var _ datasource.Recorder = (*Recorder)(nil)
+var _ Sink = (*Recorder)(nil)
 
 // NewRecorder returns an empty recorder.
 func NewRecorder() *Recorder {

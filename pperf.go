@@ -30,6 +30,7 @@ import (
 	"pperf/internal/metric"
 	"pperf/internal/mpe"
 	"pperf/internal/mpi"
+	"pperf/internal/perfdb"
 	"pperf/internal/pperfmark"
 	"pperf/internal/presta"
 	"pperf/internal/resource"
@@ -167,6 +168,45 @@ func LoadSessionArchive(path string) (*SessionArchive, error) { return session.L
 // ReplaySuiteRun re-runs the analysis plane of a recorded suite run
 // offline, reproducing the live findings without the simulated cluster.
 func ReplaySuiteRun(a *SessionArchive) (*SuiteResult, error) { return pperfmark.Replay(a) }
+
+// ReplayOptions carry what-if threshold overrides for offline replay.
+type ReplayOptions = pperfmark.ReplayOptions
+
+// ReplaySuiteRunWith replays with what-if Consultant-threshold overrides
+// applied over the recorded configuration.
+func ReplaySuiteRunWith(a *SessionArchive, o ReplayOptions) (*SuiteResult, error) {
+	return pperfmark.ReplayWith(a, o)
+}
+
+// The multi-run experiment store (see PERFDB.md).
+type (
+	// ExperimentStore is a directory of compacted run archives plus a
+	// metadata index, with cross-run regression diagnosis.
+	ExperimentStore = perfdb.Store
+	// StoredRun is one stored run's index entry.
+	StoredRun = perfdb.RunMeta
+	// RunView is a stored run materialized for querying.
+	RunView = perfdb.RunView
+	// RunDiff is the ranked comparison of two stored runs.
+	RunDiff = perfdb.DiffReport
+	// StreamRecorder records a live session straight to a chunked
+	// compacted archive in bounded memory.
+	StreamRecorder = perfdb.StreamRecorder
+)
+
+// OpenExperimentStore opens (creating if needed) an experiment store.
+func OpenExperimentStore(dir string) (*ExperimentStore, error) { return perfdb.Open(dir) }
+
+// NewStreamRecorder opens a streaming session recorder writing to path.
+func NewStreamRecorder(path string) (*StreamRecorder, error) { return perfdb.NewStreamRecorder(path) }
+
+// LoadAnyArchive reads a session archive in either format: the flat v1
+// .pparch or the chunked compacted form.
+func LoadAnyArchive(path string) (*SessionArchive, error) { return perfdb.LoadAny(path) }
+
+// DiffRuns compares two stored runs (base first) pair-by-pair with the
+// paper's paired-difference significance test.
+func DiffRuns(base, neu *RunView) *RunDiff { return perfdb.Diff(base, neu) }
 
 // Comparators.
 type (
