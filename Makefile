@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify bench replay-golden perfdb-golden chaos fuzz fuzz-perfdb
+.PHONY: build test vet race verify bench replay-golden perfdb-golden sync-golden chaos fuzz fuzz-perfdb
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,7 @@ vet:
 race:
 	$(GO) test -race ./internal/frontend ./internal/daemon ./internal/faults ./internal/trace ./internal/core ./internal/session ./internal/perfdb
 
-verify: build vet test race
+verify: build vet test race sync-golden
 
 # Opt into the chaos sweep as part of verify with `make verify CHAOS=1`.
 ifeq ($(CHAOS),1)
@@ -81,3 +81,27 @@ perfdb-golden:
 	cmp "$$tmp/d1.txt" "$$tmp/d2.txt" && \
 	grep -q REGRESSION "$$tmp/d1.txt" && \
 	echo "perfdb-golden: degraded run flagged with significant regressions; diff is byte-deterministic"
+
+# sync-golden exercises the store-sync plane end to end with the real CLI:
+# record a run into store a, serve empty store b, push the run under a
+# seeded fault plan (dropped frames + degraded link), check a re-push
+# dedupes, pull into store c, and require all three archives to be
+# byte-identical.
+sync-golden:
+	@set -e; tmp=$$(mktemp -d); \
+	$(GO) build -o "$$tmp/pperf" ./cmd/pperf; \
+	"$$tmp/pperf" -prog small-messages -seed 7 -db "$$tmp/a" -db-label golden >/dev/null 2>&1; \
+	"$$tmp/pperf" db -store "$$tmp/b" -addr-file "$$tmp/addr" serve 127.0.0.1:0 >/dev/null 2>&1 & \
+	srv=$$!; \
+	trap 'kill "$$srv" 2>/dev/null; wait "$$srv" 2>/dev/null; rm -rf "$$tmp"' EXIT; \
+	for i in $$(seq 1 100); do [ -s "$$tmp/addr" ] && break; sleep 0.1; done; \
+	[ -s "$$tmp/addr" ]; \
+	addr=$$(cat "$$tmp/addr"); \
+	"$$tmp/pperf" db -store "$$tmp/a" \
+		-sync-faults 'seed=7; t=0s drop-transport client n=2 chan=sync; t=0s degrade-link * lat=1 bw=0.9' \
+		push golden "$$addr" >/dev/null; \
+	"$$tmp/pperf" db -store "$$tmp/a" push golden "$$addr" | grep -q 'already has'; \
+	"$$tmp/pperf" db -store "$$tmp/c" pull "$$addr" --all >/dev/null; \
+	cmp "$$tmp/a/runs/r0001.ppdb" "$$tmp/b/runs/r0001.ppdb"; \
+	cmp "$$tmp/a/runs/r0001.ppdb" "$$tmp/c/runs/r0001.ppdb"; \
+	echo "sync-golden: pushed and pulled archives are byte-identical under a seeded fault plan"

@@ -4,7 +4,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
+	"pperf/internal/faults"
 	"pperf/internal/perfdb"
 	"pperf/internal/pperfmark"
 )
@@ -12,14 +15,21 @@ import (
 const dbUsage = `Usage: pperf db -store DIR <command>
 
 Commands:
-  add FILE     ingest a recorded archive (either format) into the store,
-               replaying it once to stamp the Consultant verdict
-  list         list stored runs
-  show ID      show one run's metadata and collected series
-  diff A B     compare two stored runs (A = baseline); exits 3 when a
-               significant regression is found
-  rm ID        remove a run from the store
-  gc           delete unreferenced files under the store's runs/ directory
+  add FILE       ingest a recorded archive (either format) into the store,
+                 replaying it once to stamp the Consultant verdict
+  list           list stored runs
+  show ID        show one run's metadata and collected series
+  diff A B       compare two stored runs (A = baseline); exits 3 when a
+                 significant regression is found
+  rm ID          remove a run from the store
+  gc             delete unreferenced files under the store's runs/ directory
+  serve ADDR     serve the store to db push/pull peers (ADDR like
+                 127.0.0.1:7077; :0 picks a free port); blocks until SIGINT
+  push RUN ADDR  stream one stored run to the store served at ADDR
+                 (chunk-resumable; identical content is a no-op)
+  pull ADDR [RUN|--all]
+                 fetch one remote run — or, with --all, every remote run
+                 not already held — into the store under fresh local IDs
 
 Options:
 `
@@ -29,6 +39,10 @@ func dbMain(args []string) int {
 	fs := flag.NewFlagSet("pperf db", flag.ExitOnError)
 	storeDir := fs.String("store", "", "experiment store directory (created if missing)")
 	label := fs.String("label", "", "label for the run being added (add only)")
+	addrFile := fs.String("addr-file", "", "serve: write the chosen listen address to this file (for scripts using :0)")
+	pullAll := fs.Bool("all", false, "pull: fetch every remote run not already held locally")
+	syncFaults := fs.String("sync-faults", "", "fault plan shaping push/pull traffic (drop-transport chan=sync, degrade-link); see FAULTS.md")
+	chunkBytes := fs.Int("chunk-bytes", perfdb.DefaultSyncChunkBytes, "push/pull transfer granularity in bytes")
 	fs.Usage = func() {
 		fmt.Fprint(os.Stderr, dbUsage)
 		fs.PrintDefaults()
@@ -106,6 +120,40 @@ func dbMain(args []string) int {
 		}
 		fmt.Printf("%d files removed\n", len(removed))
 		return 0
+	case "serve":
+		if !need(1, "a listen address") {
+			return 2
+		}
+		return dbServe(st, operands[0], *addrFile)
+	case "push":
+		if !need(2, "a run ID and a peer address") {
+			return 2
+		}
+		cfg, ok := syncConfig(*syncFaults, *chunkBytes)
+		if !ok {
+			return 2
+		}
+		return dbPush(st, operands[0], operands[1], cfg)
+	case "pull":
+		if len(operands) < 1 || len(operands) > 2 {
+			fmt.Fprintln(os.Stderr, "pperf db: pull takes a peer address and optionally a run ID (or --all)")
+			return 2
+		}
+		runID := ""
+		if len(operands) == 2 {
+			runID = operands[1]
+		}
+		if runID == "--all" || runID == "-all" {
+			runID = ""
+		} else if runID == "" && !*pullAll {
+			fmt.Fprintln(os.Stderr, "pperf db: pull needs a run ID, or --all to fetch every remote run")
+			return 2
+		}
+		cfg, ok := syncConfig(*syncFaults, *chunkBytes)
+		if !ok {
+			return 2
+		}
+		return dbPull(st, operands[0], runID, cfg)
 	default:
 		fmt.Fprintf(os.Stderr, "pperf db: unknown command %q\n", verb)
 		fs.Usage()
@@ -156,6 +204,104 @@ func dbShow(st *perfdb.Store, id string) int {
 		h := s.Histogram()
 		fmt.Printf("  %-22s @ %-40s total=%-12.6g bins=%d @ %v\n",
 			p.Metric, p.Focus, h.Total(), h.NumFilled(), h.BinWidth())
+	}
+	return 0
+}
+
+// syncConfig builds the push/pull client configuration from the CLI
+// flags, parsing the optional fault plan.
+func syncConfig(faultSpec string, chunkBytes int) (perfdb.SyncConfig, bool) {
+	cfg := perfdb.DefaultSyncConfig()
+	cfg.ChunkBytes = chunkBytes
+	if faultSpec != "" {
+		plan, err := faults.Parse(faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pperf db:", err)
+			return cfg, false
+		}
+		cfg.Faults = plan
+		cfg.Seed = plan.Seed
+	}
+	return cfg, true
+}
+
+// dbServe serves the store until SIGINT/SIGTERM.
+func dbServe(st *perfdb.Store, addr, addrFile string) int {
+	srv, err := perfdb.Serve(st, addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pperf db:", err)
+		return 1
+	}
+	fmt.Printf("pperf db: serving store %s at %s\n", st.Dir(), srv.Addr())
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(srv.Addr()+"\n"), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "pperf db:", err)
+			srv.Close()
+			return 1
+		}
+	}
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "pperf db:", err)
+		return 1
+	}
+	return 0
+}
+
+// dbPush streams one stored run to a served peer store.
+func dbPush(st *perfdb.Store, runID, addr string, cfg perfdb.SyncConfig) int {
+	res, err := perfdb.Push(st, runID, addr, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pperf db:", err)
+		return 1
+	}
+	switch {
+	case res.Deduped:
+		fmt.Printf("peer already has %s as %s (identical content)\n", res.RunID, res.RemoteID)
+	default:
+		resumed := ""
+		if res.ResumedAt > 0 {
+			resumed = fmt.Sprintf(", resumed at byte %d", res.ResumedAt)
+		}
+		fmt.Printf("pushed %s -> %s (%d bytes%s)\n", res.RunID, res.RemoteID, res.Bytes, resumed)
+	}
+	if res.Warning != "" {
+		fmt.Fprintln(os.Stderr, "pperf db: warning:", res.Warning)
+	}
+	if res.Stats.Retries > 0 {
+		fmt.Fprintf(os.Stderr, "pperf db: sync channel: %d frames, %d retries, %d reconnects\n",
+			res.Stats.Frames, res.Stats.Retries, res.Stats.Reconnects)
+	}
+	return 0
+}
+
+// dbPull fetches one (or every) remote run into the local store.
+func dbPull(st *perfdb.Store, addr, runID string, cfg perfdb.SyncConfig) int {
+	results, stats, err := perfdb.Pull(st, addr, runID, cfg)
+	for _, r := range results {
+		switch {
+		case r.Skipped:
+			fmt.Printf("already have %s as %s (identical content)\n", r.RemoteID, r.LocalID)
+		case r.LocalID != "":
+			resumed := ""
+			if r.ResumedAt > 0 {
+				resumed = fmt.Sprintf(", resumed at byte %d", r.ResumedAt)
+			}
+			fmt.Printf("pulled %s -> %s (%d bytes%s)\n", r.RemoteID, r.LocalID, r.Bytes, resumed)
+		}
+		if r.Warning != "" {
+			fmt.Fprintln(os.Stderr, "pperf db: warning:", r.Warning)
+		}
+	}
+	if stats != nil && stats.Retries > 0 {
+		fmt.Fprintf(os.Stderr, "pperf db: sync channel: %d frames, %d retries, %d reconnects\n",
+			stats.Frames, stats.Retries, stats.Reconnects)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pperf db:", err)
+		return 1
 	}
 	return 0
 }

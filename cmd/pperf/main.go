@@ -191,7 +191,9 @@ func main() {
 	}
 	res, err := pperfmark.Run(*prog, opt)
 	if err != nil {
-		if rec != nil {
+		if store != nil && rec != nil {
+			store.Discard(rec) // abort the recording and release its reservation
+		} else if rec != nil {
 			rec.Abort()
 		}
 		fmt.Fprintln(os.Stderr, "pperf:", err)
@@ -203,10 +205,13 @@ func main() {
 		if res.PC != nil {
 			verdict = res.PC.Export().String()
 		}
-		m, err := store.Commit(rec, perfdb.AddMeta{Label: *dbLabel, Verdict: verdict})
+		m, warning, err := store.Commit(rec, perfdb.AddMeta{Label: *dbLabel, Verdict: verdict})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pperf:", err)
 			os.Exit(1)
+		}
+		if warning != "" {
+			fmt.Fprintln(os.Stderr, "pperf: warning:", warning)
 		}
 		fmt.Fprintf(os.Stderr, "pperf: run stored as %s in %s (%d events, %d bytes)\n",
 			m.ID, store.Dir(), m.Events, m.Bytes)

@@ -65,10 +65,14 @@ func (k Kind) String() string {
 // equivalent to ChanCtl, keeping pre-bulk-channel plan texts meaning what
 // they always meant (shards moved to their own channel, so failing the
 // control channel exercises exactly the sampling path those plans tested).
+// ChanSync targets the PerfDB store-sync channel (`pperf db push/pull`);
+// it is interpreted by the sync client, not the in-run injector, which
+// ignores it.
 const (
 	ChanCtl  = "ctl"
 	ChanBulk = "bulk"
 	ChanBoth = "both"
+	ChanSync = "sync"
 )
 
 // Fault is one scheduled fault.
@@ -132,8 +136,9 @@ func New() *Plan {
 //
 // A link endpoint pair of "*" targets every link. drop-transport's chan=
 // option picks the channel to fail: ctl (samples/updates — the default),
-// bulk (trace shards), or both. Whitespace is free; clauses may appear in
-// any order.
+// bulk (trace shards), both, or sync (the PerfDB store-sync channel,
+// interpreted by `db push/pull` rather than the in-run injector).
+// Whitespace is free; clauses may appear in any order.
 func Parse(text string) (*Plan, error) {
 	p := New()
 	for _, clause := range strings.Split(text, ";") {
@@ -263,8 +268,8 @@ func (p *Plan) parseClause(clause string) error {
 			f.N = v
 		case strings.HasPrefix(opt, "chan="):
 			v := opt[5:]
-			if v != ChanCtl && v != ChanBulk && v != ChanBoth {
-				return fmt.Errorf("bad chan %q: want ctl, bulk or both", v)
+			if v != ChanCtl && v != ChanBulk && v != ChanBoth && v != ChanSync {
+				return fmt.Errorf("bad chan %q: want ctl, bulk, both or sync", v)
 			}
 			f.Chan = v
 		case opt == "restartable":

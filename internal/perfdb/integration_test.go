@@ -188,7 +188,7 @@ func TestStoreDiffEndToEnd(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		m, err := st.Commit(rec, perfdb.AddMeta{Label: label, Verdict: res.PC.Export().String()})
+		m, _, err := st.Commit(rec, perfdb.AddMeta{Label: label, Verdict: res.PC.Export().String()})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,28 @@
+package perfdb
+
+import (
+	"os"
+	"syscall"
+)
+
+// acquireLock takes an exclusive advisory flock on path (creating the file
+// if needed), blocking until the lock is available, and returns the release
+// func. Advisory locks serialize index mutations across *processes*: the
+// CLI, a live `-db` recording, and a `db serve` server can all touch the
+// same store without corrupting index.json. Readers that only consume a
+// point-in-time snapshot (list, show, diff) stay lock-free — the index is
+// replaced atomically, so they always see a complete file.
+func acquireLock(path string) (func(), error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		f.Close()
+	}, nil
+}

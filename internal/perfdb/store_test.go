@@ -1,10 +1,14 @@
 package perfdb
 
 import (
+	"errors"
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"pperf/internal/sim"
 )
@@ -98,9 +102,12 @@ func TestStoreRecorderCommit(t *testing.T) {
 	src := syntheticArchive(rand.New(rand.NewSource(4)), 300)
 	replayEventsInto(rec, src.Events)
 	rec.SetMeta("program", "streamed")
-	m, err := st.Commit(rec, AddMeta{Label: "live", Verdict: "cpu=false(0.1)"})
+	m, warn, err := st.Commit(rec, AddMeta{Label: "live", Verdict: "cpu=false(0.1)"})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if warn != "" {
+		t.Errorf("unexpected commit warning: %q", warn)
 	}
 	if m.ID != "r0001" || m.Program != "streamed" || m.Events != 300 {
 		t.Errorf("committed meta: %+v", m)
@@ -120,12 +127,233 @@ func TestStoreRecorderCommit(t *testing.T) {
 		t.Fatal(err)
 	}
 	rec2.SetHistogram(0, 0)
-	m2, err := st.Commit(rec2, AddMeta{})
+	m2, _, err := st.Commit(rec2, AddMeta{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if m2.ID != "r0002" {
 		t.Errorf("second recorder ID %q", m2.ID)
+	}
+}
+
+// TestGCSparesLiveRecording is the regression test for GC deleting an
+// in-flight `-db` recording's temp file: the recorder's reservation must
+// pin the file for as long as it keeps being written.
+func TestGCSparesLiveRecording(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := st.NewRecorder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := syntheticArchive(rand.New(rand.NewSource(2)), 150)
+	replayEventsInto(rec, src.Events)
+
+	// A stray unrelated temp file proves GC is still sweeping while it
+	// spares the live recording.
+	stray := filepath.Join(dir, "runs", "r0099.ppdb.tmp")
+	if err := os.WriteFile(stray, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := st.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 || removed[0] != "r0099.ppdb.tmp" {
+		t.Fatalf("GC during a live recording removed %v; want only the stray", removed)
+	}
+	if _, err := os.Stat(rec.Path() + ".tmp"); err != nil {
+		t.Fatalf("GC deleted the live recording's temp file: %v", err)
+	}
+	m, warn, err := st.Commit(rec, AddMeta{Label: "live"})
+	if err != nil {
+		t.Fatalf("commit after GC: %v", err)
+	}
+	if warn != "" {
+		t.Errorf("unexpected warning: %q", warn)
+	}
+	if a, err := st.Load(m.ID); err != nil || a.Header.NumEvents != 150 {
+		t.Fatalf("recording damaged: %v (archive %+v)", err, a)
+	}
+	if removed, err := st.GC(); err != nil || len(removed) != 0 {
+		t.Errorf("GC after commit removed %v, err %v", removed, err)
+	}
+}
+
+// TestGCReclaimsCrashedRecording: a reservation whose temp file has gone
+// quiet past GCTmpAge is a crashed recording — GC sweeps the file and
+// releases the reservation, but never reuses the ID.
+func TestGCReclaimsCrashedRecording(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := st.NewRecorder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayEventsInto(rec, syntheticArchive(rand.New(rand.NewSource(3)), 40).Events)
+	// Simulate the recording process having crashed two hours ago.
+	tmp := rec.Path() + ".tmp"
+	old := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(tmp, old, old); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := st.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 || removed[0] != "r0001.ppdb.tmp" {
+		t.Fatalf("GC removed %v; want the crashed recording's temp file", removed)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "index.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "reserved") {
+		t.Errorf("stale reservation not released: %s", data)
+	}
+	// The crashed ID is spent, not recycled: the next recording gets r0002.
+	rec2, err := st.NewRecorder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id := recorderID(rec2); id != "r0002" {
+		t.Errorf("post-GC recorder got ID %q; want r0002", id)
+	}
+	st.Discard(rec2)
+}
+
+// TestCommitLabelCollisionPreservesRun is the regression test for Commit
+// aborting (and thereby deleting) a fully recorded run when its label
+// collided: the run must land unlabeled with a warning instead.
+func TestCommitLabelCollisionPreservesRun(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	if _, err := st.AddArchive(syntheticArchive(rng, 50), AddMeta{Label: "baseline"}); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := st.NewRecorder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := syntheticArchive(rng, 120)
+	replayEventsInto(rec, src.Events)
+	m, warn, err := st.Commit(rec, AddMeta{Label: "baseline"})
+	if err != nil {
+		t.Fatalf("label collision destroyed the commit: %v", err)
+	}
+	if warn == "" || !strings.Contains(warn, "unlabeled") {
+		t.Errorf("warning %q; want a label-collision note", warn)
+	}
+	if m.ID != "r0002" || m.Label != "" {
+		t.Errorf("committed meta: %+v; want r0002 unlabeled", m)
+	}
+	if a, err := st.Load("r0002"); err != nil || a.Header.NumEvents != 120 {
+		t.Fatalf("recorded data lost to the label collision: %v", err)
+	}
+	// The original owner of the label is untouched.
+	if got, err := st.Get("baseline"); err != nil || got.ID != "r0001" {
+		t.Errorf("Get(baseline) = %+v, %v", got, err)
+	}
+}
+
+// TestFailedAddKeepsIDsSequential is the regression test for AddArchive
+// consuming an ID on a failed write: the next successful add must get the
+// very ID the failed one would have, leaving no hole.
+func TestFailedAddKeepsIDsSequential(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	a := syntheticArchive(rng, 30)
+	if m, err := st.AddArchive(a, AddMeta{}); err != nil || m.ID != "r0001" {
+		t.Fatalf("first add: %+v, %v", m, err)
+	}
+	createRunFile = func(string) (*os.File, error) { return nil, errors.New("injected: disk full") }
+	_, failErr := st.AddArchive(a, AddMeta{})
+	createRunFile = os.Create
+	if failErr == nil {
+		t.Fatal("injected create failure did not fail the add")
+	}
+	m, err := st.AddArchive(a, AddMeta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ID != "r0002" {
+		t.Errorf("add after a failed add got ID %q; want r0002 (no hole)", m.ID)
+	}
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs := st2.Runs(); len(runs) != 2 || runs[0].ID != "r0001" || runs[1].ID != "r0002" {
+		t.Errorf("reopened runs: %+v", runs)
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, "runs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Errorf("runs/ holds %d files; the failed add left debris", len(entries))
+	}
+}
+
+// TestConcurrentStoreHandles drives several independent Store handles on
+// one directory — the cross-process interleaving the advisory file lock
+// exists for — and checks the index comes out complete and collision-free.
+func TestConcurrentStoreHandles(t *testing.T) {
+	dir := t.TempDir()
+	const handles, perHandle = 4, 3
+	errs := make(chan error, handles*perHandle)
+	var wg sync.WaitGroup
+	for i := 0; i < handles; i++ {
+		st, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(st *Store, seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for j := 0; j < perHandle; j++ {
+				if _, err := st.AddArchive(syntheticArchive(rng, 40), AddMeta{}); err != nil {
+					errs <- err
+				}
+			}
+		}(st, int64(10+i))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := st.Runs()
+	if len(runs) != handles*perHandle {
+		t.Fatalf("stored %d runs; want %d", len(runs), handles*perHandle)
+	}
+	seen := map[string]bool{}
+	for _, m := range runs {
+		if seen[m.ID] {
+			t.Fatalf("duplicate run ID %s", m.ID)
+		}
+		seen[m.ID] = true
+		if _, err := st.Load(m.ID); err != nil {
+			t.Errorf("run %s unreadable: %v", m.ID, err)
+		}
 	}
 }
 
