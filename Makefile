@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify bench replay-golden perfdb-golden sync-golden chaos fuzz fuzz-perfdb
+.PHONY: build test vet race verify bench replay-golden perfdb-golden sync-golden wire-golden chaos fuzz fuzz-perfdb fuzz-wire
 
 build:
 	$(GO) build ./...
@@ -17,9 +17,9 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/frontend ./internal/daemon ./internal/faults ./internal/trace ./internal/core ./internal/session ./internal/perfdb
+	$(GO) test -race ./internal/wire ./internal/frontend ./internal/daemon ./internal/faults ./internal/trace ./internal/core ./internal/session ./internal/perfdb
 
-verify: build vet test race sync-golden
+verify: build vet test race sync-golden wire-golden
 
 # Opt into the chaos sweep as part of verify with `make verify CHAOS=1`.
 ifeq ($(CHAOS),1)
@@ -37,6 +37,18 @@ chaos:
 # accepted plan must round-trip through its canonical String form.
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/faults
+
+# wire-golden pins the shared reliability plane's observable behaviour: the
+# exact backoff schedules every channel draws, and the cross-stack
+# equivalence of ctl/bulk/sync resilience accounting under one fault plan.
+wire-golden:
+	$(GO) test -count=1 -run 'TestBackoffPinnedSchedules|TestCrossStackFaultPlanEquivalence' ./internal/wire
+	@echo "wire-golden: backoff schedules pinned; ctl/bulk/sync accounting equivalent"
+
+# fuzz-wire feeds arbitrary byte streams through the server-side frame read
+# path: garbage, truncations and bit flips must error, never panic or hang.
+fuzz-wire:
+	$(GO) test -fuzz=FuzzWireFrame -fuzztime=30s ./internal/wire
 
 # fuzz-perfdb holds the chunked-archive and sample-delta decoders total:
 # arbitrary bytes must produce an archive or an error, never a panic.

@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"pperf/internal/consultant"
@@ -30,6 +31,7 @@ import (
 	"pperf/internal/perfdb"
 	"pperf/internal/pperfmark"
 	"pperf/internal/trace"
+	"pperf/internal/wire"
 )
 
 func main() {
@@ -60,6 +62,7 @@ func main() {
 		wifSync   = flag.Float64("what-if-sync", 0, "replay only: override the recorded SyncWaitingTime threshold")
 		wifIO     = flag.Float64("what-if-io", 0, "replay only: override the recorded IOBlockingTime threshold")
 		wifCPU    = flag.Float64("what-if-cpu", 0, "replay only: override the recorded CPUbound threshold")
+		wireStats = flag.Bool("transport-stats", false, "print one wire-plane counter summary line per channel after the run")
 	)
 	flag.Parse()
 
@@ -223,6 +226,41 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pperf: session recorded to %s (%d events)\n", *record, rec.EventCount())
 	}
 	printResult(res, *hier, *judge, *critPath, *traceOut, *traceFmt)
+	if *wireStats {
+		printWireStats(res)
+	}
+}
+
+// printWireStats renders the session's per-channel wire.Stats — one uniform
+// summary line per channel in place of the three bespoke counter sets the
+// transports used to keep.
+func printWireStats(res *pperfmark.Result) {
+	if res.Session == nil {
+		return
+	}
+	stats := res.Session.WireStats()
+	chans := make([]string, 0, len(stats))
+	for ch := range stats {
+		chans = append(chans, ch)
+	}
+	// Fixed channel order first (ctl, bulk, sync), anything else after.
+	rank := map[string]int{wire.ChanCtl: 0, wire.ChanBulk: 1, wire.ChanSync: 2}
+	sort.Slice(chans, func(i, j int) bool {
+		ri, iOK := rank[chans[i]]
+		rj, jOK := rank[chans[j]]
+		switch {
+		case iOK && jOK:
+			return ri < rj
+		case iOK:
+			return true
+		case jOK:
+			return false
+		}
+		return chans[i] < chans[j]
+	})
+	for _, ch := range chans {
+		fmt.Printf("transport %s: %s\n", ch, stats[ch].Summary())
+	}
 }
 
 // printResult renders a run's findings. It reads everything through the

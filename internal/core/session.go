@@ -20,6 +20,7 @@ import (
 	"pperf/internal/session"
 	"pperf/internal/sim"
 	"pperf/internal/trace"
+	"pperf/internal/wire"
 )
 
 // Options configure a Session.
@@ -451,6 +452,40 @@ func (s *Session) Close() {
 	if s.listener != nil {
 		s.listener.Close()
 	}
+}
+
+// WireStats aggregates the session's wire-plane resilience counters per
+// channel (wire.ChanCtl, wire.ChanBulk). TCP sessions merge every daemon
+// transport's sender counters with the listener's receive-side dedupe
+// accounting; in-process fault runs report the flaky-transport injection
+// counters. One uniform wire.Stats block per channel replaces the three
+// bespoke counter sets the stacks used to keep.
+func (s *Session) WireStats() map[string]wire.Stats {
+	out := map[string]wire.Stats{}
+	add := func(ch string, st wire.Stats) {
+		cur := out[ch]
+		cur.Add(st)
+		out[ch] = cur
+	}
+	for _, t := range s.transports {
+		add(wire.ChanCtl, t.Stats())
+		add(wire.ChanBulk, t.BulkStats())
+	}
+	if s.listener != nil {
+		for _, ch := range []string{wire.ChanCtl, wire.ChanBulk} {
+			ls := s.listener.WireStats(ch)
+			// Sender side already counts acknowledged frames; take only the
+			// receiver-side accounting from the listener.
+			ls.Frames = 0
+			add(ch, ls)
+		}
+	}
+	for _, ft := range s.flaky {
+		for ch, st := range ft.WireStats() {
+			add(ch, st)
+		}
+	}
+	return out
 }
 
 // ProbeExecutions totals probe executions across daemons.

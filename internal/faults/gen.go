@@ -79,7 +79,7 @@ func GenPlan(seed uint64, nodes []string, maxFaults int, horizon sim.Duration) *
 		default:
 			f.Kind, f.Node = DropTransport, pick()
 			f.N = 1 + rng.Intn(8)
-			f.Chan = []string{"", ChanCtl, ChanBulk, ChanBoth}[rng.Intn(4)]
+			f.Chan = []string{"", ChanCtl, ChanBulk, ChanBoth, ChanSync}[rng.Intn(5)]
 		}
 		p.Faults = append(p.Faults, f)
 	}

@@ -7,6 +7,7 @@ import (
 	"pperf/internal/daemon"
 	"pperf/internal/sim"
 	"pperf/internal/trace"
+	"pperf/internal/wire"
 )
 
 // Hooks are the actions the injector drives. The session layer wires them to
@@ -33,7 +34,9 @@ type Hooks struct {
 	DelayAttach func(node string, d sim.Duration)
 	// DropTransport makes the node's daemon transport fail its next n
 	// sends. ch selects the channel: ChanCtl (samples/updates, the
-	// default), ChanBulk (trace shards), or ChanBoth.
+	// default), ChanBulk (trace shards), or ChanBoth. ChanSync targets the
+	// PerfDB sync plane instead and is armed through SyncConfig.Faults
+	// rather than this session hook, which ignores it.
 	DropTransport func(node string, n int, ch string)
 }
 
@@ -156,71 +159,71 @@ func (in *Injector) fire(now sim.Time, f Fault, plan *Plan, eng *sim.Engine, h H
 
 // FlakyTransport wraps a daemon.Transport so the injector can fail sends on
 // the in-process path (the TCP transport has its own InjectFailures /
-// InjectBulkFailures). Control and bulk failures are counted separately,
-// mirroring the wire transport's two channels, so a plan can sever the
-// trace stream while samples keep flowing — or vice versa. While failures
-// remain on a channel, every send on it errors; the daemon's outbox (or
-// bulk queue) absorbs the reports and replays them once the flakiness is
-// spent.
+// InjectBulkFailures). Each channel's failure state is a wire.Injection —
+// the same injection point the TCP and sync channels consult — so control
+// and bulk failures are counted separately, mirroring the wire transport's
+// two channels, and a plan can sever the trace stream while samples keep
+// flowing — or vice versa. While failures remain on a channel, every send
+// on it errors; the daemon's outbox (or bulk queue) absorbs the reports and
+// replays them once the flakiness is spent.
 type FlakyTransport struct {
 	Inner daemon.Transport
 
-	mu          sync.Mutex
-	pending     int
-	pendingBulk int
-	dropped     int64
-	droppedBulk int64
+	once sync.Once
+	ctl  *wire.Injection
+	bulk *wire.Injection
+}
+
+func (ft *FlakyTransport) init() {
+	ft.once.Do(func() {
+		ft.ctl = wire.NewInjection(wire.ChanCtl)
+		ft.bulk = wire.NewInjection(wire.ChanBulk)
+	})
 }
 
 // InjectFailures makes the next n control-channel sends fail.
 func (ft *FlakyTransport) InjectFailures(n int) {
-	ft.mu.Lock()
-	ft.pending += n
-	ft.mu.Unlock()
+	ft.init()
+	ft.ctl.AddDrops(n)
 }
 
 // InjectBulkFailures makes the next n bulk-channel (trace shard) sends
 // fail.
 func (ft *FlakyTransport) InjectBulkFailures(n int) {
-	ft.mu.Lock()
-	ft.pendingBulk += n
-	ft.mu.Unlock()
+	ft.init()
+	ft.bulk.AddDrops(n)
 }
 
 // Dropped returns how many control-channel sends were failed so far.
 func (ft *FlakyTransport) Dropped() int64 {
-	ft.mu.Lock()
-	defer ft.mu.Unlock()
-	return ft.dropped
+	ft.init()
+	return ft.ctl.Dropped()
 }
 
 // DroppedBulk returns how many bulk-channel sends were failed so far.
 func (ft *FlakyTransport) DroppedBulk() int64 {
-	ft.mu.Lock()
-	defer ft.mu.Unlock()
-	return ft.droppedBulk
+	ft.init()
+	return ft.bulk.Dropped()
+}
+
+// WireStats reports each channel's injection accounting in the wire plane's
+// uniform counter block (keyed wire.ChanCtl / wire.ChanBulk).
+func (ft *FlakyTransport) WireStats() map[string]wire.Stats {
+	ft.init()
+	return map[string]wire.Stats{
+		wire.ChanCtl:  {InjectedDrops: ft.ctl.Dropped()},
+		wire.ChanBulk: {InjectedDrops: ft.bulk.Dropped()},
+	}
 }
 
 func (ft *FlakyTransport) fail() bool {
-	ft.mu.Lock()
-	defer ft.mu.Unlock()
-	if ft.pending <= 0 {
-		return false
-	}
-	ft.pending--
-	ft.dropped++
-	return true
+	ft.init()
+	return ft.ctl.Check() != nil
 }
 
 func (ft *FlakyTransport) failBulk() bool {
-	ft.mu.Lock()
-	defer ft.mu.Unlock()
-	if ft.pendingBulk <= 0 {
-		return false
-	}
-	ft.pendingBulk--
-	ft.droppedBulk++
-	return true
+	ft.init()
+	return ft.bulk.Check() != nil
 }
 
 // Samples implements daemon.Transport.

@@ -84,11 +84,11 @@ func TestBulkFaultsLeaveControlFlowing(t *testing.T) {
 	}
 
 	bst := tr.BulkStats()
-	if bst.Sent != 1 || bst.Retries < 2 {
-		t.Errorf("bulk stats = %+v, want Sent 1 with ≥2 retries", bst)
+	if bst.Frames != 1 || bst.Retries < 2 {
+		t.Errorf("bulk stats = %+v, want Frames 1 with ≥2 retries", bst)
 	}
 	cst := tr.Stats()
-	if cst.Sent != 1 || cst.Retries != 0 {
+	if cst.Frames != 1 || cst.Retries != 0 {
 		t.Errorf("control stats = %+v — bulk faults leaked into the control channel", cst)
 	}
 	if len(fe.Timeline().ProcSpans("p0")) != 1 {

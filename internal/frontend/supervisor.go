@@ -23,6 +23,7 @@ import (
 	"pperf/internal/daemon"
 	"pperf/internal/datasource"
 	"pperf/internal/sim"
+	"pperf/internal/wire"
 )
 
 // SupervisorConfig tunes the restart policy.
@@ -207,30 +208,14 @@ func (sv *Supervisor) NoteDown(node string) {
 	}
 	attempt := s.restarts
 	s.restarts++
-	delay := sv.backoff(attempt)
+	// Bounded exponential delay with seeded jitter, over virtual time — the
+	// same wire-plane schedule the transports use over wall-clock time, so
+	// respawn timing under simulated faults is exactly reproducible.
+	delay := wire.Backoff(sv.cfg.BaseBackoff, sv.cfg.MaxBackoff, attempt, sv.rng)
 	sv.mu.Unlock()
 
 	sv.note("supervisor: daemon on %s down; respawn attempt %d in %v", node, attempt+1, delay)
 	sv.eng.After(delay, func() { sv.doRespawn(node) })
-}
-
-// backoff computes the delay before respawn attempt (0-based): bounded
-// exponential growth with seeded jitter in [d/2, d). Pure function of the
-// seed and the failure sequence — reproducible.
-func (sv *Supervisor) backoff(attempt int) sim.Duration {
-	d := sv.cfg.BaseBackoff
-	if d <= 0 {
-		d = sim.Millisecond
-	}
-	for i := 0; i < attempt; i++ {
-		d *= 2
-		if sv.cfg.MaxBackoff > 0 && d >= sv.cfg.MaxBackoff {
-			d = sv.cfg.MaxBackoff
-			break
-		}
-	}
-	half := d / 2
-	return half + sim.Duration(sv.rng.Uint64()%uint64(half+1))
 }
 
 // doRespawn runs one respawn + re-attach + resynchronize cycle. Any

@@ -2,15 +2,14 @@ package frontend
 
 import (
 	"encoding/gob"
-	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"time"
 
 	"pperf/internal/daemon"
-	"pperf/internal/sim"
 	"pperf/internal/trace"
+	"pperf/internal/wire"
 )
 
 // The TCP transport carries daemon reports to the front end over real
@@ -28,19 +27,20 @@ import (
 //     trace.Shard traffic, so arbitrarily large trace volume never queues
 //     behind — or delays — a sample batch.
 //
-// Both channels are built for misbehaving clusters: every message carries
+// Both channels are wire.Conns (see internal/wire): every message carries
 // the sending daemon's identity, its channel, and a per-channel sequence
 // number, each send has a wall-clock deadline, failures trigger bounded
-// exponential backoff with seeded (deterministic) jitter and a reconnect,
-// and the front end dedupes replayed messages per (daemon, channel) — so an
-// ack lost to a half-closed socket cannot double-apply a sample batch or a
-// shard, and a reconnect resyncs without disturbing determinism.
+// seeded-jitter retry with a reconnect, and the front end dedupes replayed
+// messages per (daemon, channel) — so an ack lost to a half-closed socket
+// cannot double-apply a sample batch or a shard, and a reconnect resyncs
+// without disturbing determinism. This file owns only what the frames mean;
+// the reliability discipline lives in the wire plane.
 
 // Channel labels stamped on wire frames. The control channel uses the empty
 // string so pre-bulk-channel captures decode (and dedupe) unchanged.
 const (
 	ctlChannel  = ""
-	bulkChannel = "bulk"
+	bulkChannel = wire.ChanBulk
 )
 
 // wireMsg is the single message frame exchanged on the wire.
@@ -63,59 +63,31 @@ type wireMsg struct {
 	Shard   *trace.Shard
 }
 
-// RetryConfig tunes the daemon-side transport's robustness behaviour.
-type RetryConfig struct {
-	// MsgTimeout is the wall-clock deadline for one attempt (encode + ack).
-	MsgTimeout time.Duration
-	// MaxAttempts bounds tries per message (first send included). When all
-	// fail, Samples/Update return an error and the daemon's outbox takes
-	// over.
-	MaxAttempts int
-	// BaseBackoff/MaxBackoff bound the exponential backoff between
-	// attempts.
-	BaseBackoff time.Duration
-	MaxBackoff  time.Duration
-	// Seed drives the jitter RNG; equal seeds give identical backoff
-	// schedules (deterministic retries). The bulk channel derives its own
-	// RNG stream from the same seed, so the two channels' schedules are
-	// independent but both reproducible.
-	Seed uint64
-	// Incarnation is stamped on every frame so the listener can fence out
-	// stragglers from dead daemon incarnations. 0 (the default) sends
-	// legacy frames with pure-seq dedupe.
-	Incarnation uint64
-}
+// RetryConfig tunes the daemon-side transport's robustness behaviour. It is
+// the wire plane's Config: equal seeds give identical retry schedules, and
+// the bulk channel derives its own jitter stream from the same seed.
+type RetryConfig = wire.Config
 
 // DefaultRetryConfig returns production-shaped retry behaviour.
-func DefaultRetryConfig() RetryConfig {
-	return RetryConfig{
-		MsgTimeout:  2 * time.Second,
-		MaxAttempts: 5,
-		BaseBackoff: 5 * time.Millisecond,
-		MaxBackoff:  250 * time.Millisecond,
-		Seed:        1,
-	}
-}
+func DefaultRetryConfig() RetryConfig { return wire.DefaultConfig() }
 
-// TransportStats counts one channel's resilience activity.
-type TransportStats struct {
-	Sent       int64 // messages acknowledged
-	Duplicates int64 // (listener side only; unused on the daemon side)
-	Retries    int64 // attempts beyond the first
-	Reconnects int64 // successful redials
-	Failures   int64 // messages given up on after MaxAttempts
-	// Backoffs records every backoff delay chosen, in order — the observable
-	// surface for determinism tests.
-	Backoffs []time.Duration
-}
+// TransportStats counts one channel's resilience activity — the wire
+// plane's uniform Stats block.
+type TransportStats = wire.Stats
 
 // Listener accepts daemon connections for a front end. Control and bulk
 // connections land on the same listening socket; frames declare their
-// channel, and dedupe state is kept per (daemon, channel).
+// channel, and dedupe state is kept per (daemon, channel) in a bounded
+// wire.Dedupe window table.
 type Listener struct {
 	fe *FrontEnd
 	ln net.Listener
 	wg sync.WaitGroup
+
+	// dedupe fences replays and dead-incarnation stragglers per
+	// (daemon, channel); its window table is bounded, so a long-lived
+	// listener fed ever-fresh daemon identities reaches a steady state.
+	dedupe *wire.Dedupe
 
 	// readTimeout bounds the wait for each incoming frame; a peer that
 	// connects and then wedges is dropped instead of parking the handler
@@ -126,11 +98,7 @@ type Listener struct {
 
 	mu           sync.Mutex
 	closed       bool
-	lastSeq      map[string]uint64 // per-(daemon,channel) high-water mark for dedupe
-	lastInc      map[string]uint64 // per-(daemon,channel) newest incarnation seen
-	dups         int64
-	staleFrames  int64 // frames fenced out as dead-incarnation stragglers
-	readTimeouts int64 // connections dropped by the per-frame read deadline
+	readTimeouts int64
 	acceptE      int64 // transient accept errors retried
 	ctlFrames    int64
 	bulkFrames   int64
@@ -140,7 +108,7 @@ type Listener struct {
 // DefaultReadTimeout is the per-frame read deadline new listeners start
 // with — generous enough that an idle-but-healthy daemon is rarely cut,
 // tight enough that a wedged peer cannot hold a handler goroutine forever.
-const DefaultReadTimeout = 10 * time.Second
+const DefaultReadTimeout = wire.DefaultReadTimeout
 
 // Listen starts a TCP listener feeding the front end. Use addr "127.0.0.1:0"
 // to pick a free port; Addr reports the chosen address.
@@ -151,12 +119,14 @@ func (fe *FrontEnd) Listen(addr string) (*Listener, error) {
 	}
 	l := &Listener{
 		fe: fe, ln: ln,
-		lastSeq:     map[string]uint64{},
-		lastInc:     map[string]uint64{},
+		dedupe:      wire.NewDedupe(0),
 		readTimeout: DefaultReadTimeout,
 	}
 	l.wg.Add(1)
-	go l.acceptLoop()
+	go func() {
+		defer l.wg.Done()
+		wire.AcceptLoop(l.ln, l.isClosed, l.noteTransientAccept, &l.wg, l.handle)
+	}()
 	return l, nil
 }
 
@@ -182,19 +152,11 @@ func (l *Listener) Close() error {
 }
 
 // Duplicates returns how many replayed frames the dedupe layer skipped.
-func (l *Listener) Duplicates() int64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.dups
-}
+func (l *Listener) Duplicates() int64 { return l.dedupe.Duplicates() }
 
 // StaleIncarnationFrames returns how many frames were fenced out because
 // they came from a dead daemon incarnation.
-func (l *Listener) StaleIncarnationFrames() int64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.staleFrames
-}
+func (l *Listener) StaleIncarnationFrames() int64 { return l.dedupe.StaleFrames() }
 
 // ReadTimeouts returns how many connections the per-frame read deadline
 // dropped.
@@ -234,36 +196,20 @@ func (l *Listener) CtlShardFrames() int64 {
 	return l.ctlShards
 }
 
-// acceptLoop accepts daemon connections until the listener closes. A
-// transient Accept error (resource exhaustion, aborted handshake) is retried
-// with a short delay instead of silently killing the loop; only a closed
-// listener — or persistent failure — ends it.
-func (l *Listener) acceptLoop() {
-	defer l.wg.Done()
-	consecutive := 0
-	for {
-		conn, err := l.ln.Accept()
-		if err != nil {
-			if errors.Is(err, net.ErrClosed) || l.isClosed() {
-				return
-			}
-			consecutive++
-			if consecutive > 10 {
-				return // persistently failing listener; give up
-			}
-			l.mu.Lock()
-			l.acceptE++
-			l.mu.Unlock()
-			time.Sleep(time.Duration(consecutive) * time.Millisecond)
-			continue
-		}
-		consecutive = 0
-		l.wg.Add(1)
-		go func() {
-			defer l.wg.Done()
-			l.handle(conn)
-		}()
+// WireStats returns the listener-side wire counters for one channel
+// (wire.ChanCtl or wire.ChanBulk): frames received plus the dedupe layer's
+// duplicate/stale accounting.
+func (l *Listener) WireStats(ch string) wire.Stats {
+	s := l.dedupe.ChannelStats(ch)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if ch == wire.ChanBulk {
+		s.Frames = l.bulkFrames
+	} else {
+		s.Frames = l.ctlFrames
+		s.ReadTimeouts = l.readTimeouts
 	}
+	return s
 }
 
 func (l *Listener) isClosed() bool {
@@ -272,57 +218,38 @@ func (l *Listener) isClosed() bool {
 	return l.closed
 }
 
-// seen reports (and records) whether the frame must be skipped — either a
-// replay the front end already applied (reconnect-resync dedupe, tracked
-// independently per (daemon, channel) since each channel numbers its own
-// frames), or a straggler from a dead daemon incarnation. A frame from a
+func (l *Listener) noteTransientAccept() {
+	l.mu.Lock()
+	l.acceptE++
+	l.mu.Unlock()
+}
+
+// seen counts the frame for its channel and reports (via the wire dedupe
+// table) whether it must be skipped — either a replay the front end already
+// applied, or a straggler from a dead daemon incarnation. A frame from a
 // newer incarnation resets the channel's seq space: the respawned daemon
 // numbers its frames from 1 again.
 func (l *Listener) seen(daemonName, ch string, inc, seq uint64) bool {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if ch == bulkChannel {
 		l.bulkFrames++
 	} else {
 		l.ctlFrames++
 	}
-	if daemonName == "" || seq == 0 {
-		return false
-	}
-	key := daemonName + "\x00" + ch
-	switch cur := l.lastInc[key]; {
-	case inc < cur:
-		l.staleFrames++
-		return true
-	case inc > cur:
-		if l.lastInc == nil {
-			l.lastInc = map[string]uint64{}
-		}
-		l.lastInc[key] = inc
-		l.lastSeq[key] = 0
-	}
-	if seq <= l.lastSeq[key] {
-		l.dups++
-		return true
-	}
-	l.lastSeq[key] = seq
-	return false
+	l.mu.Unlock()
+	return l.dedupe.Seen(daemonName, ch, inc, seq)
 }
 
 func (l *Listener) handle(conn net.Conn) {
-	defer conn.Close()
 	l.mu.Lock()
 	readTimeout := l.readTimeout
 	l.mu.Unlock()
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
 	for {
-		if readTimeout > 0 {
-			conn.SetReadDeadline(time.Now().Add(readTimeout))
-		}
 		var msg wireMsg
-		if err := dec.Decode(&msg); err != nil {
-			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		if timedOut, err := wire.ReadFrame(conn, dec, readTimeout, &msg); err != nil {
+			if timedOut {
 				// Wedged (or merely idle) peer: drop the connection
 				// instead of parking this goroutine forever. A live
 				// daemon redials on its next send and the dedupe layer
@@ -332,9 +259,6 @@ func (l *Listener) handle(conn net.Conn) {
 				l.mu.Unlock()
 			}
 			return
-		}
-		if readTimeout > 0 {
-			conn.SetReadDeadline(time.Time{})
 		}
 		if msg.Shard != nil && msg.Chan != bulkChannel {
 			l.mu.Lock()
@@ -362,44 +286,51 @@ func (l *Listener) handle(conn net.Conn) {
 }
 
 // ErrTransportClosed is returned by sends on a Close()d transport.
-var ErrTransportClosed = errors.New("frontend: transport closed")
+var ErrTransportClosed = wire.ErrClosed
 
-// tcpChannel is one independent acknowledged gob stream to the front end —
-// its own connection, sequence space, backoff RNG, and stats. The control
-// and bulk channels of a TCPTransport are two of these, locked separately
-// so a slow bulk send never blocks a sample send.
+// tcpChannel is one independent acknowledged gob stream to the front end: a
+// wire.Conn plus the identity (daemon name, channel label, incarnation) it
+// stamps on every frame. The control and bulk channels of a TCPTransport
+// are two of these, locked separately inside their Conns so a slow bulk
+// send never blocks a sample send.
 type tcpChannel struct {
-	mu     sync.Mutex
-	label  string
-	addr   string
-	name   string
-	cfg    RetryConfig
-	conn   net.Conn
-	enc    *gob.Encoder
-	dec    *gob.Decoder
-	seq    uint64
-	rng    *sim.RNG
-	closed bool
-	stats  TransportStats
-
-	// faultHook, when set, is consulted before each attempt; a non-nil
-	// return simulates a transport fault for that attempt (the connection
-	// is treated as failed).
-	faultHook func(attempt int, msg *wireMsg) error
+	label string
+	name  string
+	inc   uint64
+	conn  *wire.Conn
 }
 
-// bulkSeedSalt derives the bulk channel's jitter stream from the configured
-// seed, keeping the two channels' backoff schedules independent yet each
-// deterministic.
-const bulkSeedSalt = 0x62756c6b // "bulk"
+// send delivers one frame on channel c through the wire plane's retrying
+// Exchange. hook points at the transport's fault-hook field for this
+// channel, read fresh each attempt so tests can clear it mid-sequence.
+func (c *tcpChannel) send(msg wireMsg, hook *func(attempt int, msg *wireMsg) error) error {
+	var ack bool
+	return c.conn.Exchange(wire.Request{
+		Req: &msg,
+		Stamp: func(seq uint64) {
+			msg.Daemon = c.name
+			msg.Chan = c.label
+			msg.Inc = c.inc
+			msg.Seq = seq
+		},
+		Resp: &ack,
+		Fault: func(attempt int) error {
+			if fh := *hook; fh != nil {
+				return fh(attempt, &msg)
+			}
+			return nil
+		},
+		Label: "frontend: send",
+	})
+}
 
 // TCPTransport is the daemon-side transport: it gob-encodes each report,
 // waits (with a deadline) for the front end's acknowledgement, and on
-// failure retries with seeded-jitter exponential backoff, redialling as
-// needed. When every attempt fails the error surfaces to the daemon, whose
-// outbox (control) or bulk queue (trace shards) buffers the report for
-// later replay. Trace shards move on a dedicated bulk connection so the
-// sampling path's latency is independent of trace volume.
+// failure retries through the wire plane, redialling as needed. When every
+// attempt fails the error surfaces to the daemon, whose outbox (control) or
+// bulk queue (trace shards) buffers the report for later replay. Trace
+// shards move on a dedicated bulk connection so the sampling path's latency
+// is independent of trace volume.
 type TCPTransport struct {
 	addr string
 	name string
@@ -428,19 +359,16 @@ func DialTransport(addr string) (*TCPTransport, error) {
 // and retry configuration. name is the daemon identity used for reconnect
 // dedupe; empty disables dedupe (every frame applies). Only the control
 // channel is dialed here; the bulk channel comes up lazily on the first
-// trace shard.
+// trace shard. The control channel draws jitter from the seed unsalted; the
+// bulk channel salts it, so the two schedules are independent yet each
+// deterministic.
 func DialTransportRetry(addr, name string, cfg RetryConfig) (*TCPTransport, error) {
-	if cfg.MaxAttempts <= 0 {
-		cfg.MaxAttempts = 1
-	}
 	t := &TCPTransport{addr: addr, name: name, cfg: cfg}
-	t.ctl = tcpChannel{label: ctlChannel, addr: addr, name: name, cfg: cfg, rng: sim.NewRNG(cfg.Seed)}
-	t.ctl.mu.Lock()
-	err := t.ctl.redialLocked()
-	t.ctl.mu.Unlock()
+	conn, err := wire.Dial(addr, cfg, cfg.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("frontend: dial: %w", err)
 	}
+	t.ctl = tcpChannel{label: ctlChannel, name: name, inc: cfg.Incarnation, conn: conn}
 	return t, nil
 }
 
@@ -451,44 +379,30 @@ func (t *TCPTransport) bulkChan() *tcpChannel {
 	defer t.bulkMu.Unlock()
 	if t.bulk == nil {
 		t.bulk = &tcpChannel{
-			label: bulkChannel, addr: t.addr, name: t.name, cfg: t.cfg,
-			rng: sim.NewRNG(t.cfg.Seed ^ bulkSeedSalt),
+			label: bulkChannel, name: t.name, inc: t.cfg.Incarnation,
+			conn: wire.NewConn(t.addr, t.cfg, t.cfg.Seed^wire.SaltBulk),
 		}
-		t.bulk.mu.Lock()
-		t.bulk.redialLocked() // a failed dial retries inside send
-		t.bulk.mu.Unlock()
+		t.bulk.conn.TryDial() // a failed dial retries inside send
 	}
 	return t.bulk
 }
 
 // Close shuts both channels; subsequent sends fail fast.
 func (t *TCPTransport) Close() error {
-	err := t.ctl.close()
+	err := t.ctl.conn.Close()
 	t.bulkMu.Lock()
 	b := t.bulk
 	t.bulkMu.Unlock()
 	if b != nil {
-		if berr := b.close(); err == nil {
+		if berr := b.conn.Close(); err == nil {
 			err = berr
 		}
 	}
 	return err
 }
 
-func (c *tcpChannel) close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.closed = true
-	if c.conn == nil {
-		return nil
-	}
-	err := c.conn.Close()
-	c.conn = nil
-	return err
-}
-
 // Stats returns a snapshot of the control channel's resilience counters.
-func (t *TCPTransport) Stats() TransportStats { return t.ctl.snapshot() }
+func (t *TCPTransport) Stats() TransportStats { return t.ctl.conn.Stats() }
 
 // BulkStats returns a snapshot of the bulk channel's resilience counters
 // (all zero if no shard was ever sent).
@@ -499,157 +413,28 @@ func (t *TCPTransport) BulkStats() TransportStats {
 	if b == nil {
 		return TransportStats{}
 	}
-	return b.snapshot()
-}
-
-func (c *tcpChannel) snapshot() TransportStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	s := c.stats
-	s.Backoffs = append([]time.Duration(nil), c.stats.Backoffs...)
-	return s
+	return b.conn.Stats()
 }
 
 // InjectFailures makes the next n control-channel attempts fail
 // (deterministic fault injection): each failed attempt consumes one count,
-// exercising timeout, backoff and reconnect exactly as a flaky network
-// would.
+// exercising timeout, retry and reconnect exactly as a flaky network
+// would. The hook swap happens under the channel's send lock so it can
+// never race an in-flight send reading the hook.
 func (t *TCPTransport) InjectFailures(n int) {
-	t.ctl.mu.Lock()
-	defer t.ctl.mu.Unlock()
-	t.FaultHook = countdownHook(n)
+	t.ctl.conn.Sync(func() { t.FaultHook = countdownHook(n) })
 }
 
 // InjectBulkFailures is InjectFailures for the bulk channel: the next n
 // shard attempts fail while control traffic flows untouched.
 func (t *TCPTransport) InjectBulkFailures(n int) {
 	c := t.bulkChan()
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	t.BulkFaultHook = countdownHook(n)
+	c.conn.Sync(func() { t.BulkFaultHook = countdownHook(n) })
 }
 
 func countdownHook(n int) func(int, *wireMsg) error {
-	remaining := n
-	return func(int, *wireMsg) error {
-		if remaining <= 0 {
-			return nil
-		}
-		remaining--
-		return fmt.Errorf("injected transport fault (%d more)", remaining)
-	}
-}
-
-// redialLocked (re)establishes the connection and fresh gob codecs. A gob
-// stream is stateful, so any failed connection must be fully replaced.
-func (c *tcpChannel) redialLocked() error {
-	if c.conn != nil {
-		c.conn.Close()
-		c.conn = nil
-	}
-	timeout := c.cfg.MsgTimeout
-	if timeout <= 0 {
-		timeout = 2 * time.Second
-	}
-	conn, err := net.DialTimeout("tcp", c.addr, timeout)
-	if err != nil {
-		return err
-	}
-	c.conn = conn
-	c.enc = gob.NewEncoder(conn)
-	c.dec = gob.NewDecoder(conn)
-	return nil
-}
-
-// backoffLocked computes the delay before retry attempt (1-based): bounded
-// exponential growth with seeded jitter in [d/2, d). The schedule is a pure
-// function of the seed and the failure sequence, so retries under simulated
-// faults are reproducible.
-func (c *tcpChannel) backoffLocked(attempt int) time.Duration {
-	d := c.cfg.BaseBackoff
-	if d <= 0 {
-		d = time.Millisecond
-	}
-	for i := 1; i < attempt; i++ {
-		d *= 2
-		if c.cfg.MaxBackoff > 0 && d >= c.cfg.MaxBackoff {
-			d = c.cfg.MaxBackoff
-			break
-		}
-	}
-	half := d / 2
-	jittered := half + time.Duration(c.rng.Uint64()%uint64(half+1))
-	c.stats.Backoffs = append(c.stats.Backoffs, jittered)
-	return jittered
-}
-
-// attemptLocked performs one deadline-bounded encode+ack round trip.
-func (c *tcpChannel) attemptLocked(msg *wireMsg) error {
-	if c.conn == nil {
-		return errors.New("no connection")
-	}
-	if c.cfg.MsgTimeout > 0 {
-		c.conn.SetDeadline(time.Now().Add(c.cfg.MsgTimeout))
-		defer c.conn.SetDeadline(time.Time{})
-	}
-	if err := c.enc.Encode(msg); err != nil {
-		return fmt.Errorf("encode: %w", err)
-	}
-	var ack bool
-	if err := c.dec.Decode(&ack); err != nil {
-		// A half-closed or dead socket surfaces here as an error (or a
-		// deadline timeout) instead of a silent hang.
-		return fmt.Errorf("awaiting ack: %w", err)
-	}
-	return nil
-}
-
-// send delivers one frame on channel c, retrying with backoff. hook points
-// at the transport's fault-hook field for this channel, read fresh each
-// attempt so tests can clear it mid-sequence.
-func (c *tcpChannel) send(msg wireMsg, hook *func(attempt int, msg *wireMsg) error) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return ErrTransportClosed
-	}
-	msg.Daemon = c.name
-	msg.Chan = c.label
-	msg.Inc = c.cfg.Incarnation
-	c.seq++
-	msg.Seq = c.seq
-
-	var lastErr error
-	for attempt := 1; attempt <= c.cfg.MaxAttempts; attempt++ {
-		if attempt > 1 {
-			c.stats.Retries++
-			time.Sleep(c.backoffLocked(attempt - 1))
-			if err := c.redialLocked(); err != nil {
-				lastErr = err
-				continue
-			}
-			c.stats.Reconnects++
-		}
-		if fh := *hook; fh != nil {
-			if err := fh(attempt, &msg); err != nil {
-				lastErr = err
-				continue
-			}
-		}
-		if err := c.attemptLocked(&msg); err != nil {
-			lastErr = err
-			// The gob stream is now poisoned; force a redial next attempt.
-			if c.conn != nil {
-				c.conn.Close()
-				c.conn = nil
-			}
-			continue
-		}
-		c.stats.Sent++
-		return nil
-	}
-	c.stats.Failures++
-	return fmt.Errorf("frontend: send failed after %d attempts: %w", c.cfg.MaxAttempts, lastErr)
+	cd := wire.Countdown(n)
+	return func(attempt int, _ *wireMsg) error { return cd(attempt) }
 }
 
 // Samples implements daemon.Transport.

@@ -11,6 +11,7 @@ import (
 	"pperf/internal/daemon"
 	"pperf/internal/resource"
 	"pperf/internal/sim"
+	"pperf/internal/wire"
 )
 
 // testRetryConfig keeps wall-clock waits negligible in tests.
@@ -53,7 +54,7 @@ func TestTCPTransportDeliversThroughInjectedFailures(t *testing.T) {
 		t.Error("second update not applied")
 	}
 	st := tr.Stats()
-	if st.Sent != 2 || st.Retries < 2 || st.Failures != 0 {
+	if st.Frames != 2 || st.Retries < 2 || st.Failures != 0 {
 		t.Errorf("stats = %+v", st)
 	}
 	if len(st.Backoffs) < 2 {
@@ -209,9 +210,12 @@ func TestAcceptLoopRetriesTransientErrors(t *testing.T) {
 		errs:   []error{errors.New("accept: too many open files"), errors.New("accept: connection aborted")},
 		closed: make(chan struct{}),
 	}
-	l := &Listener{fe: New(), ln: fl, lastSeq: map[string]uint64{}}
+	l := &Listener{fe: New(), ln: fl, dedupe: wire.NewDedupe(0)}
 	l.wg.Add(1)
-	go l.acceptLoop()
+	go func() {
+		defer l.wg.Done()
+		wire.AcceptLoop(l.ln, l.isClosed, l.noteTransientAccept, &l.wg, l.handle)
+	}()
 
 	deadline := time.Now().Add(2 * time.Second)
 	for l.TransientAcceptErrors() < 2 {

@@ -7,13 +7,13 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"os"
 	"sort"
 
 	"pperf/internal/session"
 	"pperf/internal/sim"
+	"pperf/internal/wire"
 )
 
 // Chunked archive format, version 1:
@@ -275,7 +275,7 @@ func (w *Writer) writeChunk(kind byte, payload []byte) error {
 	var hdr [9]byte
 	hdr[0] = kind
 	binary.BigEndian.PutUint32(hdr[1:5], uint32(len(payload)))
-	binary.BigEndian.PutUint32(hdr[5:9], crc32.ChecksumIEEE(payload))
+	binary.BigEndian.PutUint32(hdr[5:9], wire.Checksum(payload))
 	if _, err := w.w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -444,7 +444,7 @@ func ReadArchive(r io.Reader) (*session.Archive, error) {
 			}
 			return nil, fmt.Errorf("perfdb: corrupt archive: chunk %d payload: %v", i, err)
 		}
-		if crc := crc32.ChecksumIEEE(payload); crc != wantCRC {
+		if crc := wire.Checksum(payload); crc != wantCRC {
 			return nil, fmt.Errorf("perfdb: corrupt archive: chunk %d CRC mismatch (stored %08x, computed %08x)", i, wantCRC, crc)
 		}
 		switch kind {

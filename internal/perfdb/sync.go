@@ -7,16 +7,17 @@ package perfdb
 //	pperf db push   streams one local run to a served store,
 //	pperf db pull   fetches one (or every) remote run into the local store.
 //
-// The wire discipline mirrors the daemon report transport (PR 1/3): gob
-// frames with per-connection sequence numbers, every data frame carrying a
-// CRC32-IEEE of its payload (the same per-chunk integrity the PPDBA1 file
-// format uses), per-frame deadlines, and client-side retry with seeded
-// exponential-backoff jitter and a full redial on failure — a gob stream is
-// stateful, so a failed connection is always replaced. Frames are
-// offset-addressed and therefore idempotent: a frame replayed after a lost
-// ack re-asserts bytes the peer already has, and the peer answers with its
-// authoritative offset instead of double-applying — the sync plane's
-// equivalent of the report transport's (daemon, channel) dedupe.
+// The wire discipline is the shared reliability plane in internal/wire —
+// the same one under the daemon report transport: gob frames with
+// per-connection sequence numbers, every data frame carrying a
+// wire.Checksum of its payload (the same per-chunk integrity the PPDBA1
+// file format uses), per-frame deadlines, and client-side retry with
+// seeded jitter and a full redial on failure — a gob stream is stateful,
+// so a failed connection is always replaced. Frames are offset-addressed
+// and therefore idempotent: a frame replayed after a lost ack re-asserts
+// bytes the peer already has, and the peer answers with its authoritative
+// offset instead of double-applying — the sync plane's equivalent of the
+// report transport's (daemon, channel) dedupe.
 //
 // Transfers are resumable at chunk granularity. An interrupted push leaves
 // <dir>/sync/<hash>.partial on the server, an interrupted pull leaves the
@@ -28,15 +29,15 @@ package perfdb
 // ID and merges the peer's descriptive metadata into the local index.
 //
 // Sync traffic is fault-injectable from the same plan language as the
-// report transport: `drop-transport NAME n=K chan=sync` fails the next K
-// frame sends, and `degrade-link` applies lat= as a per-frame delay and
-// bw= as a seeded per-frame failure probability (see FAULTS.md).
+// report transport, through the wire plane's shared injection point:
+// `drop-transport NAME n=K chan=sync` fails the next K frame sends, and
+// `degrade-link` applies lat= as a per-frame delay and bw= as a seeded
+// per-frame failure probability (see FAULTS.md).
 
 import (
 	"encoding/gob"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"net"
 	"os"
@@ -45,7 +46,7 @@ import (
 	"time"
 
 	"pperf/internal/faults"
-	"pperf/internal/sim"
+	"pperf/internal/wire"
 )
 
 // SyncProtoVersion versions the sync wire protocol; a server refuses a
@@ -97,7 +98,7 @@ type syncReq struct {
 	Size   int64   // opPushBegin: total size; opPullChunk: max chunk bytes
 	Offset int64   // chunk frames: byte offset of Data
 	Data   []byte  // opPushChunk payload
-	CRC    uint32  // CRC32-IEEE of Data
+	CRC    uint32  // wire.Checksum of Data
 	Meta   RunMeta // opPushEnd: descriptive metadata for the ingested run
 }
 
@@ -112,20 +113,20 @@ type syncResp struct {
 	Offset  int64     // authoritative byte count the server holds
 	Size    int64     // opPullChunk: total archive size
 	Data    []byte    // opPullChunk payload
-	CRC     uint32    // CRC32-IEEE of Data
+	CRC     uint32    // wire.Checksum of Data
 	EOF     bool      // opPullChunk: Data reaches the end of the archive
 	ID      string    // opPushBegin/opPushEnd: run ID at the server
 	Warning string    // opPushEnd: label collision note etc.
 }
 
 // SyncConfig tunes the client side of Push/Pull. The retry knobs mirror
-// frontend.RetryConfig: equal seeds give identical backoff schedules.
+// wire.Config: equal seeds give identical retry schedules.
 type SyncConfig struct {
 	// MsgTimeout is the wall-clock deadline for one frame exchange.
 	MsgTimeout time.Duration
 	// MaxAttempts bounds tries per frame (first send included).
 	MaxAttempts int
-	// BaseBackoff/MaxBackoff bound the exponential backoff between
+	// BaseBackoff/MaxBackoff bound the exponential delay between
 	// attempts.
 	BaseBackoff time.Duration
 	MaxBackoff  time.Duration
@@ -159,56 +160,51 @@ func DefaultSyncConfig() SyncConfig {
 	}
 }
 
-// SyncStats counts one sync session's resilience activity.
-type SyncStats struct {
-	Frames        int64 // frame exchanges acknowledged
-	Retries       int64 // attempts beyond the first
-	Reconnects    int64 // successful redials
-	Failures      int64 // frames given up on after MaxAttempts
-	InjectedDrops int64 // attempts failed by the fault plan / hook
-}
+// SyncStats counts one sync session's resilience activity — the wire
+// plane's uniform Stats block.
+type SyncStats = wire.Stats
 
-// syncSeedSalt derives the sync channel's jitter stream from the plan
-// seed, keeping it independent of the report transport's streams.
-const syncSeedSalt = 0x73796e63 // "sync"
-
-// syncClient is one retrying, reconnecting frame channel to a sync server.
+// syncClient is one retrying, reconnecting frame channel to a sync server:
+// a wire.Conn plus the sync channel's fault-injection point.
 type syncClient struct {
-	addr  string
-	cfg   SyncConfig
-	conn  net.Conn
-	enc   *gob.Encoder
-	dec   *gob.Decoder
-	seq   uint64
-	rng   *sim.RNG // backoff jitter
-	bwRNG *sim.RNG // degrade-link failure draw
-	stats SyncStats
-
-	drops  int           // remaining injected frame failures
-	lat    time.Duration // per-frame degrade delay
-	bwFail float64       // per-frame failure probability
+	cfg  SyncConfig
+	conn *wire.Conn
+	inj  *wire.Injection
 }
 
-// dialSync connects and handshakes protocol versions.
+// dialSync connects and handshakes protocol versions. The sync channel
+// salts its jitter seed (wire.SaltSync) so its schedule is independent of
+// the report transport's streams; a fault plan's seed overrides the
+// configured one so a faulted sync is exactly reproducible.
 func dialSync(addr string, cfg SyncConfig) (*syncClient, error) {
-	if cfg.MaxAttempts <= 0 {
-		cfg.MaxAttempts = 1
-	}
 	if cfg.ChunkBytes <= 0 {
 		cfg.ChunkBytes = DefaultSyncChunkBytes
 	}
 	if cfg.MsgTimeout <= 0 {
 		cfg.MsgTimeout = 2 * time.Second
 	}
-	c := &syncClient{
-		addr: addr, cfg: cfg,
-		rng:   sim.NewRNG(cfg.Seed ^ syncSeedSalt),
-		bwRNG: sim.NewRNG(cfg.Seed ^ syncSeedSalt ^ 0xbead),
+	seed := cfg.Seed
+	if cfg.Faults != nil {
+		seed = cfg.Faults.Seed
 	}
+	c := &syncClient{cfg: cfg, inj: wire.NewInjection(wire.ChanSync)}
+	c.inj.SeedBW(seed ^ wire.SaltSync ^ wire.SaltBW)
 	c.armFaults(cfg.Faults)
-	if err := c.redial(); err != nil {
+	wcfg := wire.Config{
+		MsgTimeout:  cfg.MsgTimeout,
+		MaxAttempts: cfg.MaxAttempts,
+		BaseBackoff: cfg.BaseBackoff,
+		MaxBackoff:  cfg.MaxBackoff,
+		Seed:        seed,
+	}
+	conn, err := wire.Dial(addr, wcfg, seed^wire.SaltSync)
+	if err != nil {
 		return nil, fmt.Errorf("perfdb sync: dial %s: %w", addr, err)
 	}
+	// An injected fault means the server never saw the frame: poison the
+	// connection so the next attempt redials, as a real fault would.
+	conn.SetPoisonOnFault(true)
+	c.conn = conn
 	resp, err := c.roundTrip(syncReq{Op: opHello, Proto: SyncProtoVersion})
 	if err != nil {
 		c.close()
@@ -221,147 +217,57 @@ func dialSync(addr string, cfg SyncConfig) (*syncClient, error) {
 	return c, nil
 }
 
-// armFaults translates a fault plan into the client's injection state.
+// armFaults translates a fault plan into the wire injection point's state.
 func (c *syncClient) armFaults(p *faults.Plan) {
 	if p == nil {
 		return
 	}
-	c.rng = sim.NewRNG(p.Seed ^ syncSeedSalt)
-	c.bwRNG = sim.NewRNG(p.Seed ^ syncSeedSalt ^ 0xbead)
 	for _, f := range p.Faults {
 		switch f.Kind {
 		case faults.DropTransport:
 			if f.Chan == faults.ChanSync {
-				c.drops += f.N
+				c.inj.AddDrops(f.N)
 			}
 		case faults.DegradeLink:
-			if f.Lat > 0 {
-				c.lat = time.Duration(f.Lat * float64(time.Millisecond))
-			}
-			if f.BW > 0 && f.BW < 1 {
-				c.bwFail = 1 - f.BW
-			}
+			c.inj.Degrade(time.Duration(f.Lat*float64(time.Millisecond)), f.BW)
 		}
 	}
 }
 
-func (c *syncClient) close() {
-	if c.conn != nil {
-		c.conn.Close()
-		c.conn = nil
-	}
-}
+func (c *syncClient) close() { c.conn.Close() }
 
-// redial (re)establishes the connection with fresh gob codecs.
-func (c *syncClient) redial() error {
-	c.close()
-	conn, err := net.DialTimeout("tcp", c.addr, c.cfg.MsgTimeout)
-	if err != nil {
-		return err
-	}
-	c.conn = conn
-	c.enc = gob.NewEncoder(conn)
-	c.dec = gob.NewDecoder(conn)
-	return nil
-}
+// stats snapshots the client's wire counters.
+func (c *syncClient) stats() SyncStats { return c.conn.Stats() }
 
-// backoff computes the delay before retry attempt (1-based): bounded
-// exponential growth with seeded jitter in [d/2, d).
-func (c *syncClient) backoff(attempt int) time.Duration {
-	d := c.cfg.BaseBackoff
-	if d <= 0 {
-		d = time.Millisecond
-	}
-	for i := 1; i < attempt; i++ {
-		d *= 2
-		if c.cfg.MaxBackoff > 0 && d >= c.cfg.MaxBackoff {
-			d = c.cfg.MaxBackoff
-			break
-		}
-	}
-	half := d / 2
-	return half + time.Duration(c.rng.Uint64()%uint64(half+1))
-}
-
-// faultCheck consults the injected fault state before one attempt.
+// faultCheck consults the test hook, then the shared injection point,
+// before one attempt.
 func (c *syncClient) faultCheck(op string, seq uint64, attempt int) error {
 	if c.cfg.FaultHook != nil {
 		if err := c.cfg.FaultHook(op, seq, attempt); err != nil {
-			c.stats.InjectedDrops++
 			return err
 		}
 	}
-	if c.drops > 0 {
-		c.drops--
-		c.stats.InjectedDrops++
-		return fmt.Errorf("injected sync fault (%d more)", c.drops)
-	}
-	if c.bwFail > 0 && float64(c.bwRNG.Uint64()%1000)/1000 < c.bwFail {
-		c.stats.InjectedDrops++
-		return errors.New("injected degraded-link sync fault")
-	}
-	if c.lat > 0 {
-		time.Sleep(c.lat)
-	}
-	return nil
+	return c.inj.Check()
 }
 
-// roundTrip sends one frame and waits for its response, retrying with
-// backoff and a redial on any failure. A response that arrives with
-// OK=false is a protocol-level refusal, not a transport fault, and is
-// returned as a terminal error.
+// roundTrip sends one frame and waits for its response through the wire
+// plane's retrying Exchange. A response that arrives with OK=false is a
+// protocol-level refusal, not a transport fault, and is returned as a
+// terminal error.
 func (c *syncClient) roundTrip(req syncReq) (*syncResp, error) {
-	c.seq++
-	req.Seq = c.seq
-	var lastErr error
-	for attempt := 1; attempt <= c.cfg.MaxAttempts; attempt++ {
-		if attempt > 1 {
-			c.stats.Retries++
-			time.Sleep(c.backoff(attempt - 1))
-			if err := c.redial(); err != nil {
-				lastErr = err
-				continue
-			}
-			c.stats.Reconnects++
-		}
-		if err := c.faultCheck(opName(req.Op), req.Seq, attempt); err != nil {
-			lastErr = err
-			// The server never saw the frame; poison the connection so the
-			// next attempt redials, as a real transport fault would.
-			c.close()
-			continue
-		}
-		resp, err := c.attempt(&req)
-		if err != nil {
-			lastErr = err
-			c.close() // the gob stream is poisoned; force a redial
-			continue
-		}
-		c.stats.Frames++
-		if !resp.OK {
-			return nil, errors.New("perfdb sync: " + resp.Err)
-		}
-		return resp, nil
-	}
-	c.stats.Failures++
-	return nil, fmt.Errorf("perfdb sync: %s failed after %d attempts: %w", opName(req.Op), c.cfg.MaxAttempts, lastErr)
-}
-
-// attempt performs one deadline-bounded encode+decode exchange.
-func (c *syncClient) attempt(req *syncReq) (*syncResp, error) {
-	if c.conn == nil {
-		return nil, errors.New("no connection")
-	}
-	if c.cfg.MsgTimeout > 0 {
-		c.conn.SetDeadline(time.Now().Add(c.cfg.MsgTimeout))
-		defer c.conn.SetDeadline(time.Time{})
-	}
-	if err := c.enc.Encode(req); err != nil {
-		return nil, fmt.Errorf("encode: %w", err)
-	}
 	var resp syncResp
-	if err := c.dec.Decode(&resp); err != nil {
-		return nil, fmt.Errorf("awaiting response: %w", err)
+	err := c.conn.Exchange(wire.Request{
+		Req:   &req,
+		Stamp: func(seq uint64) { req.Seq = seq },
+		Resp:  &resp,
+		Fault: func(attempt int) error { return c.faultCheck(opName(req.Op), req.Seq, attempt) },
+		Label: "perfdb sync: " + opName(req.Op),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, errors.New("perfdb sync: " + resp.Err)
 	}
 	return &resp, nil
 }
@@ -400,11 +306,11 @@ func Push(st *Store, runID, addr string, cfg SyncConfig) (*PushResult, error) {
 	res := &PushResult{RunID: m.ID}
 	begin, err := c.roundTrip(syncReq{Op: opPushBegin, Hash: m.Hash, Size: size})
 	if err != nil {
-		res.Stats = c.stats
+		res.Stats = c.stats()
 		return res, err
 	}
 	if begin.Have {
-		res.Deduped, res.RemoteID, res.Warning, res.Stats = true, begin.ID, begin.Warning, c.stats
+		res.Deduped, res.RemoteID, res.Warning, res.Stats = true, begin.ID, begin.Warning, c.stats()
 		return res, nil
 	}
 	res.ResumedAt = begin.Offset
@@ -420,7 +326,7 @@ func Push(st *Store, runID, addr string, cfg SyncConfig) (*PushResult, error) {
 	// bounds pathological no-progress exchanges.
 	for guard := 4*(int(size)/c.cfg.ChunkBytes+1) + 16; offset < size; guard-- {
 		if guard <= 0 {
-			res.Stats = c.stats
+			res.Stats = c.stats()
 			return res, fmt.Errorf("perfdb sync: push of %s stalled at offset %d/%d", m.ID, offset, size)
 		}
 		n := int64(len(buf))
@@ -428,15 +334,15 @@ func Push(st *Store, runID, addr string, cfg SyncConfig) (*PushResult, error) {
 			n = size - offset
 		}
 		if _, err := f.ReadAt(buf[:n], offset); err != nil {
-			res.Stats = c.stats
+			res.Stats = c.stats()
 			return res, err
 		}
 		resp, err := c.roundTrip(syncReq{
 			Op: opPushChunk, Hash: m.Hash, Offset: offset,
-			Data: buf[:n], CRC: crc32.ChecksumIEEE(buf[:n]),
+			Data: buf[:n], CRC: wire.Checksum(buf[:n]),
 		})
 		if err != nil {
-			res.Stats = c.stats
+			res.Stats = c.stats()
 			return res, err
 		}
 		if resp.Offset > offset {
@@ -448,11 +354,11 @@ func Push(st *Store, runID, addr string, cfg SyncConfig) (*PushResult, error) {
 	meta.ID = "" // the peer assigns its own
 	end, err := c.roundTrip(syncReq{Op: opPushEnd, Hash: m.Hash, Meta: meta})
 	if err != nil {
-		res.Stats = c.stats
+		res.Stats = c.stats()
 		return res, err
 	}
 	res.RemoteID, res.Warning, res.Deduped = end.ID, end.Warning, end.Have
-	res.Stats = c.stats
+	res.Stats = c.stats()
 	return res, nil
 }
 
@@ -482,9 +388,13 @@ func Pull(st *Store, addr, runID string, cfg SyncConfig) ([]PullResult, *SyncSta
 		return nil, nil, err
 	}
 	defer c.close()
+	fail := func(results []PullResult, err error) ([]PullResult, *SyncStats, error) {
+		s := c.stats()
+		return results, &s, err
+	}
 	list, err := c.roundTrip(syncReq{Op: opList})
 	if err != nil {
-		return nil, &c.stats, err
+		return fail(nil, err)
 	}
 	var want []RunMeta
 	if runID == "" {
@@ -497,7 +407,7 @@ func Pull(st *Store, addr, runID string, cfg SyncConfig) ([]PullResult, *SyncSta
 			}
 		}
 		if len(want) == 0 {
-			return nil, &c.stats, fmt.Errorf("perfdb sync: no run %q at %s", runID, addr)
+			return fail(nil, fmt.Errorf("perfdb sync: no run %q at %s", runID, addr))
 		}
 	}
 	var results []PullResult
@@ -505,10 +415,10 @@ func Pull(st *Store, addr, runID string, cfg SyncConfig) ([]PullResult, *SyncSta
 		r, err := pullOne(st, c, m)
 		results = append(results, r)
 		if err != nil {
-			return results, &c.stats, err
+			return fail(results, err)
 		}
 	}
-	return results, &c.stats, nil
+	return fail(results, nil)
 }
 
 // pullOne transfers one remote run into the local store.
@@ -543,7 +453,7 @@ func pullOne(st *Store, c *syncClient, m RunMeta) (PullResult, error) {
 			f.Close()
 			return res, err
 		}
-		if crc32.ChecksumIEEE(resp.Data) != resp.CRC {
+		if wire.Checksum(resp.Data) != resp.CRC {
 			// Payload corrupted in transit: re-request the same chunk.
 			continue
 		}
@@ -596,9 +506,12 @@ type SyncServer struct {
 	mu          sync.Mutex
 	closed      bool
 	readTimeout time.Duration
-	uploads     map[string]*sync.Mutex // per-content-hash upload serialization
-	frames      int64
-	dups        int64
+	// uploads serializes writers of one partial upload by content hash;
+	// the wire lock table reaps entries as soon as the last holder
+	// releases, so redial churn cannot grow it without bound.
+	uploads *wire.LockTable
+	frames  int64
+	dups    int64
 }
 
 // Serve listens on addr ("127.0.0.1:0" picks a free port) and serves the
@@ -616,10 +529,13 @@ func Serve(st *Store, addr string) (*SyncServer, error) {
 	s := &SyncServer{
 		st: st, ln: ln,
 		readTimeout: 30 * time.Second,
-		uploads:     map[string]*sync.Mutex{},
+		uploads:     wire.NewLockTable(),
 	}
 	s.wg.Add(1)
-	go s.acceptLoop()
+	go func() {
+		defer s.wg.Done()
+		wire.AcceptLoop(s.ln, s.isClosed, nil, &s.wg, s.handle)
+	}()
 	return s, nil
 }
 
@@ -651,56 +567,26 @@ func (s *SyncServer) DuplicateFrames() int64 {
 	return s.dups
 }
 
+// UploadLocks returns how many per-content-hash upload locks are currently
+// live — held or awaited right now; released entries are reaped.
+func (s *SyncServer) UploadLocks() int { return s.uploads.Len() }
+
 func (s *SyncServer) isClosed() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.closed
 }
 
-// acceptLoop accepts peer connections until the server closes, retrying
-// transient accept errors like the report listener does.
-func (s *SyncServer) acceptLoop() {
-	defer s.wg.Done()
-	consecutive := 0
-	for {
-		conn, err := s.ln.Accept()
-		if err != nil {
-			if errors.Is(err, net.ErrClosed) || s.isClosed() {
-				return
-			}
-			consecutive++
-			if consecutive > 10 {
-				return
-			}
-			time.Sleep(time.Duration(consecutive) * time.Millisecond)
-			continue
-		}
-		consecutive = 0
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			s.handle(conn)
-		}()
-	}
-}
-
 // handle serves one connection: a request/response loop with per-frame
 // read deadlines so a wedged peer cannot park the goroutine forever.
 func (s *SyncServer) handle(conn net.Conn) {
-	defer conn.Close()
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
 	var lastSeq uint64
 	for {
-		if s.readTimeout > 0 {
-			conn.SetReadDeadline(time.Now().Add(s.readTimeout))
-		}
 		var req syncReq
-		if err := dec.Decode(&req); err != nil {
+		if _, err := wire.ReadFrame(conn, dec, s.readTimeout, &req); err != nil {
 			return
-		}
-		if s.readTimeout > 0 {
-			conn.SetReadDeadline(time.Time{})
 		}
 		s.mu.Lock()
 		s.frames++
@@ -717,19 +603,6 @@ func (s *SyncServer) handle(conn net.Conn) {
 			return
 		}
 	}
-}
-
-// uploadLock returns the per-content-hash mutex serializing writes to one
-// partial upload.
-func (s *SyncServer) uploadLock(hash string) *sync.Mutex {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	mu, ok := s.uploads[hash]
-	if !ok {
-		mu = &sync.Mutex{}
-		s.uploads[hash] = mu
-	}
-	return mu
 }
 
 func syncErr(format string, args ...any) *syncResp {
@@ -762,28 +635,15 @@ func (s *SyncServer) partialPath(hash string) string {
 	return filepath.Join(s.st.syncDir(), hash+".partial")
 }
 
-func validHash(h string) bool {
-	if len(h) != 64 {
-		return false
-	}
-	for _, r := range h {
-		if (r < '0' || r > '9') && (r < 'a' || r > 'f') {
-			return false
-		}
-	}
-	return true
-}
-
 func (s *SyncServer) pushBegin(req *syncReq) *syncResp {
-	if !validHash(req.Hash) {
+	if !wire.ValidHash(req.Hash) {
 		return syncErr("push-begin: bad content hash %q", req.Hash)
 	}
 	if m, ok := s.st.FindByHash(req.Hash); ok {
 		return &syncResp{OK: true, Have: true, ID: m.ID, Warning: fmt.Sprintf("identical content already stored as %s", m.ID)}
 	}
-	mu := s.uploadLock(req.Hash)
-	mu.Lock()
-	defer mu.Unlock()
+	release := s.uploads.Acquire(req.Hash)
+	defer release()
 	if err := os.MkdirAll(s.st.syncDir(), 0o755); err != nil {
 		return syncErr("push-begin: %v", err)
 	}
@@ -802,15 +662,14 @@ func (s *SyncServer) pushBegin(req *syncReq) *syncResp {
 }
 
 func (s *SyncServer) pushChunk(req *syncReq) *syncResp {
-	if !validHash(req.Hash) {
+	if !wire.ValidHash(req.Hash) {
 		return syncErr("push-chunk: bad content hash %q", req.Hash)
 	}
-	if crc32.ChecksumIEEE(req.Data) != req.CRC {
+	if wire.Checksum(req.Data) != req.CRC {
 		return syncErr("push-chunk: CRC mismatch at offset %d", req.Offset)
 	}
-	mu := s.uploadLock(req.Hash)
-	mu.Lock()
-	defer mu.Unlock()
+	release := s.uploads.Acquire(req.Hash)
+	defer release()
 	path := s.partialPath(req.Hash)
 	var cur int64
 	if fi, err := os.Stat(path); err == nil {
@@ -844,12 +703,11 @@ func (s *SyncServer) pushChunk(req *syncReq) *syncResp {
 }
 
 func (s *SyncServer) pushEnd(req *syncReq) *syncResp {
-	if !validHash(req.Hash) {
+	if !wire.ValidHash(req.Hash) {
 		return syncErr("push-end: bad content hash %q", req.Hash)
 	}
-	mu := s.uploadLock(req.Hash)
-	mu.Lock()
-	defer mu.Unlock()
+	release := s.uploads.Acquire(req.Hash)
+	defer release()
 	// A replayed push-end after the ingest already happened dedupes via
 	// the content address.
 	if m, ok := s.st.FindByHash(req.Hash); ok {
@@ -911,7 +769,7 @@ func (s *SyncServer) pullChunk(req *syncReq) *syncResp {
 		return syncErr("pull-chunk: read: %v", err)
 	}
 	return &syncResp{
-		OK: true, Data: data, CRC: crc32.ChecksumIEEE(data),
+		OK: true, Data: data, CRC: wire.Checksum(data),
 		Offset: req.Offset, Size: size, EOF: req.Offset+n == size,
 	}
 }

@@ -7,7 +7,7 @@ package perfdb
 import (
 	"bytes"
 	"errors"
-	"hash/crc32"
+	"fmt"
 	"math/rand"
 	"os"
 	"strings"
@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"pperf/internal/faults"
+	"pperf/internal/wire"
 )
 
 // testSyncConfig returns a client config tuned for fast tests: small
@@ -313,6 +314,50 @@ func TestSyncPullLabelCollision(t *testing.T) {
 	}
 }
 
+// TestSyncServerUploadLocksReaped is the regression test for the server's
+// once-unbounded per-hash upload-lock map: after any amount of push churn —
+// fresh hashes, dedupe re-pushes, and a transfer cut mid-flight — the lock
+// table must return to empty, not grow one mutex per hash forever.
+func TestSyncServerUploadLocksReaped(t *testing.T) {
+	_, srv := serveStore(t)
+	for i := 0; i < 4; i++ {
+		src, m := storeWithRun(t, int64(10+i), 150, fmt.Sprintf("churn-%d", i))
+		if _, err := Push(src, m.ID, srv.Addr(), testSyncConfig()); err != nil {
+			t.Fatal(err)
+		}
+		// Dedupe re-push of the same content exercises the lock again.
+		if _, err := Push(src, m.ID, srv.Addr(), testSyncConfig()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A push cut mid-transfer leaves a partial on disk — but no lock entry.
+	src, m := storeWithRun(t, 20, 2000, "")
+	cfg := testSyncConfig()
+	cfg.ChunkBytes = 256
+	cfg.MaxAttempts = 2
+	chunks := 0
+	cfg.FaultHook = func(op string, seq uint64, attempt int) error {
+		if op == "push-chunk" {
+			if chunks++; chunks > 3 {
+				return errors.New("link cut")
+			}
+		}
+		return nil
+	}
+	if _, err := Push(src, m.ID, srv.Addr(), cfg); err == nil {
+		t.Fatal("push survived a permanently cut link")
+	}
+	// The server handler may still be draining its last frame; give it a
+	// moment to quiesce before asserting steady state.
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.UploadLocks() != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := srv.UploadLocks(); got != 0 {
+		t.Errorf("upload locks at steady state = %d, want 0", got)
+	}
+}
+
 // TestSyncChunkReplayIdempotent drives the server's chunk handler
 // directly: replayed frames (lost acks) and gapped frames (swept
 // partials) are answered with the authoritative offset, never
@@ -324,7 +369,7 @@ func TestSyncChunkReplayIdempotent(t *testing.T) {
 		t.Fatalf("push-begin: %+v", resp)
 	}
 	payload := []byte("0123456789abcdef")
-	req := &syncReq{Op: opPushChunk, Hash: hash, Offset: 0, Data: payload, CRC: crc32.ChecksumIEEE(payload)}
+	req := &syncReq{Op: opPushChunk, Hash: hash, Offset: 0, Data: payload, CRC: wire.Checksum(payload)}
 	if resp := srv.pushChunk(req); !resp.OK || resp.Offset != 16 {
 		t.Fatalf("first chunk: %+v", resp)
 	}
@@ -336,7 +381,7 @@ func TestSyncChunkReplayIdempotent(t *testing.T) {
 		t.Errorf("duplicate frames: %d; want 1", srv.DuplicateFrames())
 	}
 	// A gap (client ahead of the server): rewind, don't corrupt.
-	gap := &syncReq{Op: opPushChunk, Hash: hash, Offset: 32, Data: payload, CRC: crc32.ChecksumIEEE(payload)}
+	gap := &syncReq{Op: opPushChunk, Hash: hash, Offset: 32, Data: payload, CRC: wire.Checksum(payload)}
 	if resp := srv.pushChunk(gap); !resp.OK || resp.Offset != 16 {
 		t.Fatalf("gapped chunk: %+v", resp)
 	}

@@ -1,0 +1,149 @@
+package wire
+
+import "sync"
+
+// DefaultDedupeWindows bounds how many (peer, channel) dedupe windows a
+// receiver keeps. Far above any deployment's live peer count, low enough
+// that a listener fed ever-fresh peer identities (a redial storm of renamed
+// daemons, a chaos harness) reaches a steady state instead of growing
+// without bound.
+const DefaultDedupeWindows = 1024
+
+// dedupeWin is one (peer, channel) window: the newest sender incarnation
+// seen and that incarnation's per-channel sequence high-water mark.
+type dedupeWin struct {
+	inc  uint64
+	seq  uint64
+	used uint64 // logical access tick, for least-recently-used eviction
+}
+
+// Dedupe is the receiver half of the wire plane's idempotent delivery: it
+// tracks, per (peer, channel), the newest sender incarnation and its
+// sequence high-water mark, so a frame replayed after a lost
+// acknowledgement is recognized (and skipped) instead of double-applied,
+// and a straggler frame from a dead sender incarnation is fenced out. A
+// frame from a newer incarnation resets the channel's sequence space: the
+// respawned sender numbers its frames from 1 again.
+//
+// The window table is bounded: beyond limit entries, the least recently
+// used window is evicted. Evicting a live peer's window only weakens
+// dedupe back to at-least-once for that peer's next frame — every frame
+// consumer behind it is idempotent by construction — so a bounded table is
+// safe, and a long-lived listener cannot accumulate state forever.
+type Dedupe struct {
+	mu    sync.Mutex
+	limit int
+	tick  uint64
+	wins  map[string]*dedupeWin
+
+	dups    int64
+	stale   int64
+	dupsBy  map[string]int64
+	staleBy map[string]int64
+}
+
+// NewDedupe returns a window table bounded to limit (0 or negative selects
+// DefaultDedupeWindows).
+func NewDedupe(limit int) *Dedupe {
+	if limit <= 0 {
+		limit = DefaultDedupeWindows
+	}
+	return &Dedupe{
+		limit:   limit,
+		wins:    map[string]*dedupeWin{},
+		dupsBy:  map[string]int64{},
+		staleBy: map[string]int64{},
+	}
+}
+
+// Seen reports (and records) whether the frame must be skipped — either a
+// replay the receiver already applied, or a straggler from a dead sender
+// incarnation. Frames with no peer identity or seq 0 (legacy senders)
+// bypass dedupe and always apply.
+func (d *Dedupe) Seen(peer, ch string, inc, seq uint64) bool {
+	if peer == "" || seq == 0 {
+		return false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.tick++
+	key := peer + "\x00" + ch
+	w := d.wins[key]
+	if w == nil {
+		d.evictLocked()
+		w = &dedupeWin{}
+		d.wins[key] = w
+	}
+	w.used = d.tick
+	switch {
+	case inc < w.inc:
+		d.stale++
+		d.staleBy[chanName(ch)]++
+		return true
+	case inc > w.inc:
+		w.inc = inc
+		w.seq = 0
+	}
+	if seq <= w.seq {
+		d.dups++
+		d.dupsBy[chanName(ch)]++
+		return true
+	}
+	w.seq = seq
+	return false
+}
+
+// evictLocked drops the least recently used window when the table is full.
+// Eviction is rare (only at the bound), so a linear scan is fine.
+func (d *Dedupe) evictLocked() {
+	if len(d.wins) < d.limit {
+		return
+	}
+	var victim string
+	var oldest uint64
+	for k, w := range d.wins {
+		if victim == "" || w.used < oldest {
+			victim, oldest = k, w.used
+		}
+	}
+	delete(d.wins, victim)
+}
+
+// Windows returns how many (peer, channel) windows are currently tracked.
+func (d *Dedupe) Windows() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.wins)
+}
+
+// Duplicates returns how many replayed frames were skipped.
+func (d *Dedupe) Duplicates() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dups
+}
+
+// StaleFrames returns how many frames were fenced out as dead-incarnation
+// stragglers.
+func (d *Dedupe) StaleFrames() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stale
+}
+
+// ChannelStats returns the receiver-side counters for one channel name
+// (ChanCtl, ChanBulk, ChanSync).
+func (d *Dedupe) ChannelStats(ch string) Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return Stats{Duplicates: d.dupsBy[chanName(ch)], StaleFrames: d.staleBy[chanName(ch)]}
+}
+
+// chanName normalizes the on-wire channel label ("" for the legacy control
+// channel) to its reporting name.
+func chanName(ch string) string {
+	if ch == "" {
+		return ChanCtl
+	}
+	return ch
+}

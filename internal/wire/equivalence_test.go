@@ -1,0 +1,142 @@
+package wire_test
+
+// Cross-stack equivalence: one fault plan, three stacks. The report
+// transport's control and bulk channels and the PerfDB sync client used to
+// carry three private retry/injection implementations; they now all ride
+// internal/wire, so the same drop-transport budget must produce the
+// identical resilience accounting — same retries, same injected-drop count,
+// same backoff-schedule length, no failures — on every channel, reported
+// through the one shared wire.Stats block.
+
+import (
+	"testing"
+	"time"
+
+	"pperf/internal/daemon"
+	"pperf/internal/faults"
+	"pperf/internal/frontend"
+	"pperf/internal/perfdb"
+	"pperf/internal/trace"
+	"pperf/internal/wire"
+)
+
+const equivalencePlan = "seed=42; " +
+	"t=0s drop-transport node0 n=2; " +
+	"t=0s drop-transport node0 n=2 chan=bulk; " +
+	"t=0s drop-transport node0 n=2 chan=sync"
+
+func TestCrossStackFaultPlanEquivalence(t *testing.T) {
+	plan, err := faults.Parse(equivalencePlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// ctl + bulk: a TCP report transport armed from the plan's clauses,
+	// the same translation the live session applies.
+	fe := frontend.New()
+	l, err := fe.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	cfg := frontend.RetryConfig{
+		MsgTimeout:  500 * time.Millisecond,
+		MaxAttempts: 4,
+		BaseBackoff: 100 * time.Microsecond,
+		MaxBackoff:  time.Millisecond,
+		Seed:        plan.Seed,
+	}
+	tr, err := frontend.DialTransportRetry(l.Addr(), "paradynd@node0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	for _, f := range plan.Faults {
+		if f.Kind != faults.DropTransport {
+			continue
+		}
+		switch f.Chan {
+		case "", faults.ChanCtl:
+			tr.InjectFailures(f.N)
+		case faults.ChanBulk:
+			tr.InjectBulkFailures(f.N)
+		case faults.ChanBoth:
+			tr.InjectFailures(f.N)
+			tr.InjectBulkFailures(f.N)
+		}
+	}
+	if err := tr.Update(daemon.Update{Kind: daemon.UpHeartbeat}); err != nil {
+		t.Fatalf("ctl send under plan: %v", err)
+	}
+	sh := trace.Shard{Proc: "p0", Node: "node0", Spans: []trace.Span{{Name: "compute"}}}
+	if err := tr.BulkShard(sh); err != nil {
+		t.Fatalf("bulk send under plan: %v", err)
+	}
+
+	// sync: the same plan handed to the sync client, which arms its own
+	// wire injection point from the chan=sync clause.
+	remote, err := perfdb.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := perfdb.Serve(remote, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	local, err := perfdb.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scfg := perfdb.SyncConfig{
+		MsgTimeout:  500 * time.Millisecond,
+		MaxAttempts: 4,
+		BaseBackoff: 100 * time.Microsecond,
+		MaxBackoff:  time.Millisecond,
+		Faults:      plan,
+	}
+	_, syncStats, err := perfdb.Pull(local, srv.Addr(), "", scfg)
+	if err != nil {
+		t.Fatalf("sync under plan: %v", err)
+	}
+
+	// Every channel consumed its n=2 budget through the shared plane:
+	// identical accounting, channel by channel.
+	byChan := map[string]wire.Stats{
+		wire.ChanCtl:  tr.Stats(),
+		wire.ChanBulk: tr.BulkStats(),
+		wire.ChanSync: *syncStats,
+	}
+	for ch, st := range byChan {
+		if st.Retries != 2 || st.InjectedDrops != 2 || len(st.Backoffs) != 2 {
+			t.Errorf("%s: retries=%d injected=%d backoffs=%d, want 2/2/2",
+				ch, st.Retries, st.InjectedDrops, len(st.Backoffs))
+		}
+		if st.Failures != 0 || st.Duplicates != 0 || st.StaleFrames != 0 {
+			t.Errorf("%s: failures=%d dups=%d stale=%d, want all 0",
+				ch, st.Failures, st.Duplicates, st.StaleFrames)
+		}
+		if st.Frames == 0 {
+			t.Errorf("%s: no frames delivered despite retry budget", ch)
+		}
+	}
+
+	// Receiver side: the same replayed frame sequence through each
+	// channel's dedupe label yields identical per-channel accounting —
+	// one window engine, three labels.
+	d := wire.NewDedupe(0)
+	for _, ch := range []string{wire.ChanCtl, wire.ChanBulk, wire.ChanSync} {
+		d.Seen("peer", ch, 1, 1)
+		d.Seen("peer", ch, 1, 2)
+		d.Seen("peer", ch, 1, 2) // replay after a lost ack
+		d.Seen("peer", ch, 2, 1) // respawned sender
+		d.Seen("peer", ch, 1, 3) // dead-incarnation straggler
+	}
+	want := wire.Stats{Duplicates: 1, StaleFrames: 1}
+	for _, ch := range []string{wire.ChanCtl, wire.ChanBulk, wire.ChanSync} {
+		got := d.ChannelStats(ch)
+		if got.Duplicates != want.Duplicates || got.StaleFrames != want.StaleFrames {
+			t.Errorf("%s dedupe stats = %+v, want %+v", ch, got, want)
+		}
+	}
+}

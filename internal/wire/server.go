@@ -1,0 +1,137 @@
+package wire
+
+import (
+	"encoding/gob"
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// DefaultReadTimeout is the per-frame read deadline servers start with —
+// generous enough that an idle-but-healthy peer is rarely cut, tight enough
+// that a wedged peer cannot hold a handler goroutine forever.
+const DefaultReadTimeout = 10 * time.Second
+
+// AcceptLoop accepts connections on ln until it closes, handing each to
+// handle on its own goroutine (tracked in wg; the connection is closed when
+// handle returns). A transient Accept error (resource exhaustion, aborted
+// handshake) is retried with a short linear delay — and reported through
+// onTransient when non-nil — instead of silently killing the loop; only a
+// closed listener, or persistent failure, ends it. Both the report listener
+// and the sync server run this one loop.
+func AcceptLoop(ln net.Listener, closed func() bool, onTransient func(), wg *sync.WaitGroup, handle func(net.Conn)) {
+	consecutive := 0
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) || closed() {
+				return
+			}
+			consecutive++
+			if consecutive > 10 {
+				return // persistently failing listener; give up
+			}
+			if onTransient != nil {
+				onTransient()
+			}
+			time.Sleep(time.Duration(consecutive) * time.Millisecond)
+			continue
+		}
+		consecutive = 0
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer conn.Close()
+			handle(conn)
+		}()
+	}
+}
+
+// ReadFrame decodes one frame from the connection under an optional read
+// deadline (0 disables it), clearing the deadline on success. timedOut
+// reports whether a decode failure was the deadline expiring — a wedged (or
+// merely idle) peer that should be dropped rather than parked on forever; a
+// live sender redials on its next frame and the dedupe layer absorbs any
+// replays.
+func ReadFrame(conn net.Conn, dec *gob.Decoder, timeout time.Duration, frame any) (timedOut bool, err error) {
+	if timeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(timeout))
+	}
+	if err := dec.Decode(frame); err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			return true, err
+		}
+		return false, err
+	}
+	if timeout > 0 {
+		conn.SetReadDeadline(time.Time{})
+	}
+	return false, nil
+}
+
+// LockTable hands out per-key mutexes (the sync server serializes writers
+// of one partial upload by content hash). Entries are reference-counted and
+// reaped as soon as the last holder releases, so the table's steady-state
+// size is the number of concurrently held keys — a server fed ever-fresh
+// hashes by redial churn no longer accumulates a mutex per hash forever.
+type LockTable struct {
+	mu   sync.Mutex
+	ents map[string]*lockEnt
+}
+
+type lockEnt struct {
+	mu   sync.Mutex
+	refs int
+}
+
+// NewLockTable returns an empty table.
+func NewLockTable() *LockTable { return &LockTable{ents: map[string]*lockEnt{}} }
+
+// Acquire locks the key's mutex, creating it on first use, and returns the
+// release that unlocks it (and deletes the entry once no holder or waiter
+// remains). The reference is taken before blocking, so a waiter can never
+// see its entry reaped underneath it.
+func (t *LockTable) Acquire(key string) (release func()) {
+	t.mu.Lock()
+	e := t.ents[key]
+	if e == nil {
+		e = &lockEnt{}
+		t.ents[key] = e
+	}
+	e.refs++
+	t.mu.Unlock()
+	e.mu.Lock()
+	return func() {
+		e.mu.Unlock()
+		t.mu.Lock()
+		e.refs--
+		if e.refs == 0 {
+			delete(t.ents, key)
+		}
+		t.mu.Unlock()
+	}
+}
+
+// Len returns how many keys are currently held or awaited.
+func (t *LockTable) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.ents)
+}
+
+// ValidHash reports whether h is a well-formed lowercase-hex SHA-256
+// content address — the validation every wire peer applies before trusting
+// a hash in a filename.
+func ValidHash(h string) bool {
+	if len(h) != 64 {
+		return false
+	}
+	for _, r := range h {
+		if (r < '0' || r > '9') && (r < 'a' || r > 'f') {
+			return false
+		}
+	}
+	return true
+}

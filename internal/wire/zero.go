@@ -1,0 +1,18 @@
+package wire
+
+import "reflect"
+
+// zero resets *v (v must be a non-nil pointer) to its zero value. Exchange
+// uses it before every decode attempt: gob omits zero-valued fields, so
+// decoding a retried reply into a struct still holding the previous
+// attempt's fields would silently merge stale state.
+func zero(v any) {
+	if v == nil {
+		return
+	}
+	rv := reflect.ValueOf(v)
+	if rv.Kind() != reflect.Pointer || rv.IsNil() {
+		return
+	}
+	rv.Elem().Set(reflect.Zero(rv.Elem().Type()))
+}
