@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify bench replay-golden perfdb-golden sync-golden wire-golden chaos fuzz fuzz-perfdb fuzz-wire
+.PHONY: build test vet race verify bench replay-golden perfdb-golden sync-golden wire-golden trend-golden chaos fuzz fuzz-perfdb fuzz-wire
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,7 @@ vet:
 race:
 	$(GO) test -race ./internal/wire ./internal/frontend ./internal/daemon ./internal/faults ./internal/trace ./internal/core ./internal/session ./internal/perfdb
 
-verify: build vet test race sync-golden wire-golden
+verify: build vet test race sync-golden wire-golden trend-golden
 
 # Opt into the chaos sweep as part of verify with `make verify CHAOS=1`.
 ifeq ($(CHAOS),1)
@@ -93,6 +93,47 @@ perfdb-golden:
 	cmp "$$tmp/d1.txt" "$$tmp/d2.txt" && \
 	grep -q REGRESSION "$$tmp/d1.txt" && \
 	echo "perfdb-golden: degraded run flagged with significant regressions; diff is byte-deterministic"
+
+# trend-golden seeds a five-run store of one program — three healthy seeds,
+# then two with a degraded link — and checks the store-wide trend query:
+# it must flag DRIFTING series (db trend exits 3), attribute the changepoint
+# to the first degraded run (first-bad r0004), be byte-deterministic, and
+# say the same in its JSON form. A second store holds a same-seed pair whose
+# fault fires at t=3s: with a 3% effect floor the full-run diff dilutes the
+# post-fault regression away (exit 0, no REGRESSION) while -since-fault
+# anchors the window at the fault and recovers it (exit 3).
+trend-golden:
+	@tmp=$$(mktemp -d) && \
+	trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) build -o "$$tmp/pperf" ./cmd/pperf && \
+	for s in 7 8 9; do \
+		"$$tmp/pperf" -prog big-message -seed $$s \
+			-db "$$tmp/trend" -db-label healthy-$$s >/dev/null 2>&1 || exit 1; \
+	done && \
+	for s in 10 11; do \
+		"$$tmp/pperf" -prog big-message -seed $$s -faults 't=0s degrade-link * bw=0.5' \
+			-db "$$tmp/trend" -db-label degraded-$$s >/dev/null 2>&1 || exit 1; \
+	done && \
+	{ "$$tmp/pperf" db -store "$$tmp/trend" trend -alpha=0.1 big-message > "$$tmp/t1.txt"; [ $$? -eq 3 ]; } && \
+	{ "$$tmp/pperf" db -store "$$tmp/trend" trend -alpha=0.1 big-message > "$$tmp/t2.txt"; [ $$? -eq 3 ]; } && \
+	cmp "$$tmp/t1.txt" "$$tmp/t2.txt" && \
+	grep -q 'DRIFTING-UP' "$$tmp/t1.txt" && \
+	grep -q 'first-bad r0004' "$$tmp/t1.txt" && \
+	{ "$$tmp/pperf" db -store "$$tmp/trend" trend -alpha=0.1 -format=json big-message > "$$tmp/t.json"; [ $$? -eq 3 ]; } && \
+	grep -q '"verdict": "DRIFTING-UP"' "$$tmp/t.json" && \
+	grep -q '"first_bad": "r0004"' "$$tmp/t.json" && \
+	"$$tmp/pperf" -prog big-message -seed 7 -db "$$tmp/pair" -db-label healthy >/dev/null 2>&1 && \
+	"$$tmp/pperf" -prog big-message -seed 7 -faults 't=3s degrade-link * bw=0.25' \
+		-db "$$tmp/pair" -db-label late-fault >/dev/null 2>&1 && \
+	"$$tmp/pperf" db -store "$$tmp/pair" diff -min-effect=0.03 r0001 r0002 > "$$tmp/plain.txt" && \
+	! grep -q REGRESSION "$$tmp/plain.txt" && \
+	{ "$$tmp/pperf" db -store "$$tmp/pair" diff -since-fault -min-effect=0.03 r0001 r0002 > "$$tmp/since.txt"; [ $$? -eq 3 ]; } && \
+	grep -q 'window: \[3.000s, end)' "$$tmp/since.txt" && \
+	grep -q REGRESSION "$$tmp/since.txt" && \
+	{ "$$tmp/pperf" db -store "$$tmp/pair" diff -since-fault -min-effect=0.03 -format=json r0001 r0002 > "$$tmp/since.json"; [ $$? -eq 3 ]; } && \
+	grep -q '"since_fault": true' "$$tmp/since.json" && \
+	grep -q '"verdict": "REGRESSION"' "$$tmp/since.json" && \
+	echo "trend-golden: 5-run drift flagged with first-bad r0004; -since-fault recovers the late-fault regression a full-run diff dilutes"
 
 # sync-golden exercises the store-sync plane end to end with the real CLI:
 # record a run into store a, serve empty store b, push the run under a

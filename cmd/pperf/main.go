@@ -12,6 +12,9 @@
 //	pperf -replay run.pparch -what-if-sync 0.05
 //	pperf -prog small-messages -db ./experiments -db-label baseline
 //	pperf db -store ./experiments diff r0001 r0002
+//	pperf db -store ./experiments diff -since-fault -format=json r0001 r0002
+//	pperf db -store ./experiments trend -alpha=0.1 big-message
+//	pperf db help trend
 //	pperf -list
 package main
 

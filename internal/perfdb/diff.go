@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"pperf/internal/faults"
 	"pperf/internal/metric"
 	"pperf/internal/sim"
 	"pperf/internal/stats"
@@ -18,6 +19,11 @@ import (
 // changes. The metrics this tool collects measure costs — wait fractions,
 // transferred bytes, operation counts — so a significant rate increase is
 // reported as a regression and a significant decrease as an improvement.
+//
+// Compare generalizes the test to a virtual-time window: restricted to
+// [from,to), only the bins overlapping the window enter the paired test,
+// so a change confined to one phase of the run (after a fault fired, say)
+// is not diluted by the unaffected phase.
 
 // Verdict classifies one aligned pair's change.
 type Verdict string
@@ -31,13 +37,67 @@ const (
 	VerdictUnchanged Verdict = "unchanged"
 	// VerdictSkipped: the pair could not be compared (reason in Skipped).
 	VerdictSkipped Verdict = "skipped"
+	// VerdictNotComparable: a requested window excludes the pair's data,
+	// so the comparison is undefined there (reason in Skipped). Reported
+	// rather than dropped so a windowed report accounts for every pair.
+	VerdictNotComparable Verdict = "NOT-COMPARABLE"
 )
+
+// Window restricts a comparison to the virtual-time interval [From, To).
+// To == 0 leaves the window open-ended; the zero Window disables
+// windowing entirely (the whole run is compared).
+type Window struct {
+	From, To sim.Time
+}
+
+// Enabled reports whether the window restricts anything.
+func (w Window) Enabled() bool { return w.From > 0 || w.To > 0 }
+
+// String renders the half-open interval, with an open end as "end".
+func (w Window) String() string {
+	if w.To > 0 {
+		return fmt.Sprintf("[%v, %v)", w.From, w.To)
+	}
+	return fmt.Sprintf("[%v, end)", w.From)
+}
+
+// overlaps reports whether the bin interval [lo, hi) intersects the
+// window.
+func (w Window) overlaps(lo, hi sim.Time) bool {
+	if w.To > 0 && lo >= w.To {
+		return false
+	}
+	return hi > w.From
+}
+
+// CompareOptions parameterize a cross-run comparison. The zero value
+// reproduces the classic whole-run diff exactly.
+type CompareOptions struct {
+	// Window restricts the paired test to bins overlapping [From, To) in
+	// virtual time. The zero window compares the whole run.
+	Window Window
+	// SinceFault anchors the window's start at the new run's first fired
+	// fault (read from its recorded fault log). Comparing only the
+	// post-fault phase keeps a fault-local regression from being diluted
+	// below significance by the healthy prefix. Mutually exclusive with
+	// an explicit Window.From; combines with Window.To. It is an error
+	// when the new run has no fired faults on record.
+	SinceFault bool
+	// Alpha is the two-sided significance level of the paired test:
+	// 0.10, 0.05 or 0.01 (0 means 0.05, the paper's level).
+	Alpha float64
+	// MinEffect suppresses significant verdicts whose |relative change|
+	// falls below it: statistically real but operationally irrelevant
+	// drifts report as unchanged. 0 disables the filter.
+	MinEffect float64
+}
 
 // SeriesDelta is the comparison of one metric-focus pair across two runs.
 type SeriesDelta struct {
 	Pair    Pair
 	Verdict Verdict
-	// Skipped holds the reason when Verdict == VerdictSkipped.
+	// Skipped holds the reason when Verdict is VerdictSkipped or
+	// VerdictNotComparable.
 	Skipped string
 
 	// BaseRate and NewRate are the mean interior per-bin rates (units/s)
@@ -46,7 +106,8 @@ type SeriesDelta struct {
 	BaseRate, NewRate float64
 	// MeanDiff is the mean per-bin rate difference, new minus base.
 	MeanDiff float64
-	// CI is the 95% confidence interval of MeanDiff.
+	// CI is the confidence interval of MeanDiff at the comparison's
+	// significance level (95% by default).
 	CI stats.Interval
 	// RelChange is MeanDiff relative to BaseRate (NaN when BaseRate is 0
 	// and the rates differ; ranked last among equals).
@@ -61,6 +122,16 @@ type SeriesDelta struct {
 // DiffReport is the ranked outcome of comparing two stored runs.
 type DiffReport struct {
 	Base, New RunMeta
+
+	// Window is the effective virtual-time restriction (zero when the
+	// whole run was compared); SinceFault records that its start was
+	// anchored at the new run's first fired fault.
+	Window     Window
+	SinceFault bool
+	// Alpha is the significance level the verdicts used; MinEffect the
+	// relative-change floor (0 when unset).
+	Alpha     float64
+	MinEffect float64
 
 	// Deltas holds every pair present in both runs: significant changes
 	// first (largest |RelChange| first), then unchanged, then skipped;
@@ -82,9 +153,54 @@ func (r *DiffReport) Regressions() []SeriesDelta {
 	return out
 }
 
-// Diff compares two materialized runs, base against new.
+// Diff compares two materialized runs, base against new, over the whole
+// run at the default significance level.
+//
+// Deprecated: Diff is the pre-options entry point, kept for
+// compatibility; new callers should use Compare, which adds windowing,
+// fault anchoring, and threshold control. Diff(base, neu) is exactly
+// Compare(base, neu, CompareOptions{}).
 func Diff(base, neu *RunView) *DiffReport {
-	rep := &DiffReport{Base: base.Meta, New: neu.Meta}
+	rep, err := Compare(base, neu, CompareOptions{})
+	if err != nil {
+		// Default options have no failing path; a failure here is a
+		// programming error in Compare itself.
+		panic(fmt.Sprintf("perfdb: Diff: %v", err))
+	}
+	return rep
+}
+
+// Compare runs the cross-run comparison of base against new under the
+// given options. The zero CompareOptions reproduce Diff byte for byte.
+func Compare(base, neu *RunView, opts CompareOptions) (*DiffReport, error) {
+	if _, err := stats.TCritical(1, opts.Alpha); err != nil {
+		return nil, fmt.Errorf("perfdb: %v", err)
+	}
+	if opts.MinEffect < 0 {
+		return nil, fmt.Errorf("perfdb: negative min-effect %g", opts.MinEffect)
+	}
+	win := opts.Window
+	if opts.SinceFault {
+		if win.From > 0 {
+			return nil, fmt.Errorf("perfdb: SinceFault and an explicit window start are mutually exclusive (drop -from or -since-fault)")
+		}
+		at, ok := faults.FirstFireTime(neu.FaultLog())
+		if !ok {
+			return nil, fmt.Errorf("perfdb: run %s has no fired faults to anchor the window (recorded without -faults, or before fault logs were stored? use -from for an explicit window)", runTitle(neu.Meta))
+		}
+		win.From = at
+	}
+	if win.To > 0 && win.From >= win.To {
+		return nil, fmt.Errorf("perfdb: empty window %v: the start must precede the end", win)
+	}
+	rep := &DiffReport{
+		Base: base.Meta, New: neu.Meta,
+		Window: win, SinceFault: opts.SinceFault,
+		Alpha: opts.Alpha, MinEffect: opts.MinEffect,
+	}
+	if rep.Alpha == 0 {
+		rep.Alpha = 0.05
+	}
 	basePairs := base.Pairs()
 	newKeys := map[string]bool{}
 	for _, p := range neu.Pairs() {
@@ -105,19 +221,23 @@ func Diff(base, neu *RunView) *DiffReport {
 			continue
 		}
 		rep.Deltas = append(rep.Deltas, comparePair(p,
-			base.SeriesFor(p).Histogram(), neu.SeriesFor(p).Histogram()))
+			base.SeriesFor(p).Histogram(), neu.SeriesFor(p).Histogram(), win, rep.Alpha, opts.MinEffect))
 	}
 	rankDeltas(rep.Deltas)
-	return rep
+	return rep, nil
 }
 
 // comparePair runs the paired-difference test over one pair's two
-// histograms.
-func comparePair(p Pair, hb, hn *metric.Histogram) SeriesDelta {
+// histograms, restricted to the window's bins.
+func comparePair(p Pair, hb, hn *metric.Histogram, win Window, alpha, minEffect float64) SeriesDelta {
 	d := SeriesDelta{Pair: p}
-	rb, rn, width, reason := alignRates(hb, hn)
+	rb, rn, width, reason, excluded := alignRates(hb, hn, win)
 	if reason != "" {
-		d.Verdict = VerdictSkipped
+		if excluded {
+			d.Verdict = VerdictNotComparable
+		} else {
+			d.Verdict = VerdictSkipped
+		}
 		d.Skipped = reason
 		return d
 	}
@@ -125,9 +245,9 @@ func comparePair(p Pair, hb, hn *metric.Histogram) SeriesDelta {
 	d.Bins = len(rb)
 	d.BaseRate = stats.Mean(rb)
 	d.NewRate = stats.Mean(rn)
-	// PairedDiff computes a-b, so pass the new run first: MeanDiff > 0
-	// means the rate rose.
-	pr, err := stats.PairedDiff(rn, rb)
+	// PairedDiffAlpha computes a-b, so pass the new run first: MeanDiff >
+	// 0 means the rate rose.
+	pr, err := stats.PairedDiffAlpha(rn, rb, alpha)
 	if err != nil {
 		d.Verdict = VerdictSkipped
 		d.Skipped = err.Error()
@@ -141,8 +261,12 @@ func comparePair(p Pair, hb, hn *metric.Histogram) SeriesDelta {
 	case d.MeanDiff != 0:
 		d.RelChange = math.NaN() // rose from zero: infinite relative change
 	}
+	significant := pr.Significant
+	if significant && minEffect > 0 && !math.IsNaN(d.RelChange) && math.Abs(d.RelChange) < minEffect {
+		significant = false
+	}
 	switch {
-	case !pr.Significant:
+	case !significant:
 		d.Verdict = VerdictUnchanged
 	case d.MeanDiff > 0:
 		d.Verdict = VerdictRegression
@@ -153,12 +277,14 @@ func comparePair(p Pair, hb, hn *metric.Histogram) SeriesDelta {
 }
 
 // alignRates rebins both histograms to the coarser common bin width,
-// truncates to the shorter filled prefix, drops the endpoint bins, and
-// returns the interior per-bin rates. A non-empty reason means the pair
-// cannot be compared.
-func alignRates(hb, hn *metric.Histogram) (rb, rn []float64, width sim.Duration, reason string) {
+// truncates to the shorter filled prefix, drops the endpoint bins, keeps
+// the interior bins overlapping the window, and returns their per-bin
+// rates. A non-empty reason means the pair cannot be compared; excluded
+// distinguishes "the window left too little data" (NOT-COMPARABLE) from
+// shape problems the runs have regardless of any window (skipped).
+func alignRates(hb, hn *metric.Histogram, win Window) (rb, rn []float64, width sim.Duration, reason string, excluded bool) {
 	if hb.NumFilled() == 0 || hn.NumFilled() == 0 {
-		return nil, nil, 0, "no data in one or both runs"
+		return nil, nil, 0, "no data in one or both runs", false
 	}
 	width = hb.BinWidth()
 	if hn.BinWidth() > width {
@@ -166,11 +292,11 @@ func alignRates(hb, hn *metric.Histogram) (rb, rn []float64, width sim.Duration,
 	}
 	vb, ok := rebin(hb, width)
 	if !ok {
-		return nil, nil, 0, fmt.Sprintf("incompatible bin widths %v vs %v", hb.BinWidth(), hn.BinWidth())
+		return nil, nil, 0, fmt.Sprintf("incompatible bin widths %v vs %v", hb.BinWidth(), hn.BinWidth()), false
 	}
 	vn, ok := rebin(hn, width)
 	if !ok {
-		return nil, nil, 0, fmt.Sprintf("incompatible bin widths %v vs %v", hb.BinWidth(), hn.BinWidth())
+		return nil, nil, 0, fmt.Sprintf("incompatible bin widths %v vs %v", hb.BinWidth(), hn.BinWidth()), false
 	}
 	n := len(vb)
 	if len(vn) < n {
@@ -179,16 +305,32 @@ func alignRates(hb, hn *metric.Histogram) (rb, rn []float64, width sim.Duration,
 	// Drop the endpoint bins: collection start and end fall somewhere
 	// inside them, so their values undercount (§5).
 	if n < 4 {
-		return nil, nil, 0, fmt.Sprintf("too few common bins (%d) for a paired test", n)
+		return nil, nil, 0, fmt.Sprintf("too few common bins (%d) for a paired test", n), false
 	}
 	sec := width.Seconds()
 	rb = make([]float64, 0, n-2)
 	rn = make([]float64, 0, n-2)
+	kept := 0
 	for i := 1; i < n-1; i++ {
+		lo := sim.Time(sim.Duration(i) * width)
+		hi := sim.Time(sim.Duration(i+1) * width)
+		if win.Enabled() && !win.overlaps(lo, hi) {
+			continue
+		}
+		kept++
 		rb = append(rb, vb[i]/sec)
 		rn = append(rn, vn[i]/sec)
 	}
-	return rb, rn, width, ""
+	if win.Enabled() && kept < 2 {
+		span := sim.Time(sim.Duration(n) * width)
+		switch kept {
+		case 0:
+			return nil, nil, 0, fmt.Sprintf("window %v excludes every interior bin (runs share %d bins @ %v, ending at %v)", win, n, width, span), true
+		default:
+			return nil, nil, 0, fmt.Sprintf("window %v leaves 1 interior bin; a paired test needs at least 2", win), true
+		}
+	}
+	return rb, rn, width, "", false
 }
 
 // rebin returns the histogram's filled values regrouped at the coarser
@@ -254,7 +396,7 @@ func rankDeltas(ds []SeriesDelta) {
 // describe renders one delta as a report line.
 func (d SeriesDelta) describe() string {
 	name := fmt.Sprintf("%s @ %s", d.Pair.Metric, d.Pair.Focus)
-	if d.Verdict == VerdictSkipped {
+	if d.Verdict == VerdictSkipped || d.Verdict == VerdictNotComparable {
 		return fmt.Sprintf("%-11s %s: %s", d.Verdict, name, d.Skipped)
 	}
 	rel := "n/a"
@@ -265,12 +407,27 @@ func (d SeriesDelta) describe() string {
 		d.Verdict, name, d.BaseRate, d.NewRate, rel, d.CI, d.Bins, d.BinWidth)
 }
 
-// Render produces the ranked, byte-deterministic diff report.
+// Render produces the ranked, byte-deterministic diff report. An
+// unwindowed default-options report renders exactly as the classic Diff
+// output did; window and threshold lines appear only when set.
 func (r *DiffReport) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "perfdb diff: %s -> %s\n", runTitle(r.Base), runTitle(r.New))
 	fmt.Fprintf(&b, "  base: %s\n", r.Base.Describe())
 	fmt.Fprintf(&b, "  new:  %s\n", r.New.Describe())
+	if r.Window.Enabled() {
+		anchor := ""
+		if r.SinceFault {
+			anchor = " (anchored at the new run's first fired fault)"
+		}
+		fmt.Fprintf(&b, "  window: %v%s\n", r.Window, anchor)
+	}
+	if r.Alpha != 0 && r.Alpha != 0.05 {
+		fmt.Fprintf(&b, "  alpha: %g\n", r.Alpha)
+	}
+	if r.MinEffect > 0 {
+		fmt.Fprintf(&b, "  min-effect: %g\n", r.MinEffect)
+	}
 	if r.Base.Verdict != "" || r.New.Verdict != "" {
 		fmt.Fprintf(&b, "  consultant: base %s\n", orDash(r.Base.Verdict))
 		fmt.Fprintf(&b, "              new  %s\n", orDash(r.New.Verdict))

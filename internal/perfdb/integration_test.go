@@ -212,7 +212,10 @@ func TestStoreDiffEndToEnd(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rep := perfdb.Diff(base, neu)
+		rep, err := perfdb.Compare(base, neu, perfdb.CompareOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
 		if len(rep.Regressions()) == 0 {
 			t.Fatal("bandwidth-degraded run produced no significant regressions")
 		}

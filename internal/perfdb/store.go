@@ -187,6 +187,20 @@ func (st *Store) Runs() []RunMeta {
 	return append([]RunMeta(nil), st.index.Runs...)
 }
 
+// RunsFor returns the index entries of every stored run of the named
+// program, in store order — the run sequence a trend query fits.
+func (st *Store) RunsFor(program string) []RunMeta {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var out []RunMeta
+	for _, m := range st.index.Runs {
+		if m.Program == program {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
 // Get returns the index entry for id (an ID or a label).
 func (st *Store) Get(id string) (RunMeta, error) {
 	st.mu.Lock()

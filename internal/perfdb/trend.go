@@ -1,0 +1,305 @@
+package perfdb
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"pperf/internal/stats"
+)
+
+// Store-wide trend queries: where the diff plane asks "did this run
+// change against that one?", the trend plane asks "how has this series
+// moved over every stored run of the program?". For each metric-focus
+// pair shared by all the runs, the per-run mean interior rate (the
+// paper's export-and-calculate scalar, endpoints excluded) is fit
+// against the run index with an ordinary-least-squares line, and the
+// slope's confidence interval delivers the verdict: STABLE when it
+// contains zero, DRIFTING-UP/-DOWN otherwise. The metrics measure costs,
+// so DRIFTING-UP is the bad direction. A drifting series also gets
+// first-bad-run attribution: the earliest run whose rate departs from
+// the mean of the runs before it by more than the effect floor.
+
+// TrendVerdict classifies one series' movement across the run sequence.
+type TrendVerdict string
+
+const (
+	// TrendStable: the slope's CI contains zero.
+	TrendStable TrendVerdict = "STABLE"
+	// TrendUp: the rate is rising significantly (costs grow — the bad
+	// direction).
+	TrendUp TrendVerdict = "DRIFTING-UP"
+	// TrendDown: the rate is falling significantly.
+	TrendDown TrendVerdict = "DRIFTING-DOWN"
+	// TrendSkipped: the series could not be fit (reason in Skipped).
+	TrendSkipped TrendVerdict = "skipped"
+)
+
+// Drifting reports whether the verdict flags a significant drift.
+func (v TrendVerdict) Drifting() bool { return v == TrendUp || v == TrendDown }
+
+// TrendOptions parameterize a store-wide trend query.
+type TrendOptions struct {
+	// Alpha is the two-sided significance level of the slope test: 0.10,
+	// 0.05 or 0.01 (0 means 0.05).
+	Alpha float64
+	// MinEffect suppresses drift verdicts whose |relative slope| (slope
+	// per run over the mean rate) falls below it, and sets the
+	// first-bad-run attribution threshold. 0 means DefaultTrendEffect.
+	MinEffect float64
+}
+
+// DefaultTrendEffect is the relative departure a run must show over the
+// runs before it to be named the first bad run.
+const DefaultTrendEffect = 0.10
+
+// SeriesTrend is one metric-focus pair's movement across the runs.
+type SeriesTrend struct {
+	Pair    Pair
+	Verdict TrendVerdict
+	// Skipped holds the reason when Verdict == TrendSkipped.
+	Skipped string
+
+	// Rates holds the per-run mean interior rates (units/s), one per run
+	// in run order.
+	Rates []float64
+	// Slope is the fitted rate change per run index; CI its confidence
+	// interval at the query's significance level.
+	Slope float64
+	CI    stats.Interval
+	// RelSlope is Slope relative to the mean rate (NaN when the mean is
+	// 0 and the slope is not).
+	RelSlope float64
+
+	// FirstBad names the changepoint run for a drifting series: the
+	// earliest run whose rate departs from the mean of the preceding
+	// runs, in the drift's direction, by more than the effect floor.
+	// Empty when no single run crosses the floor (a smooth creep).
+	FirstBad string
+}
+
+// TrendReport is the ranked outcome of a store-wide trend query.
+type TrendReport struct {
+	// Program is the queried program; Runs the index entries of its
+	// stored runs, in store (run-index) order.
+	Program string
+	Runs    []RunMeta
+
+	// Alpha and MinEffect echo the query's effective thresholds.
+	Alpha     float64
+	MinEffect float64
+
+	// Series holds every pair: drifting first (largest |RelSlope|
+	// first), then stable, then skipped; ties broken by pair name so the
+	// report is byte-deterministic.
+	Series []SeriesTrend
+}
+
+// Drifting returns the series with a drift verdict, in rank order.
+func (r *TrendReport) Drifting() []SeriesTrend {
+	var out []SeriesTrend
+	for _, s := range r.Series {
+		if s.Verdict.Drifting() {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Trend fits every shared metric-focus series across the views (one per
+// stored run, in run order) and delivers per-series drift verdicts. At
+// least three runs are required for the slope to carry an error estimate.
+func Trend(views []*RunView, opts TrendOptions) (*TrendReport, error) {
+	if _, err := stats.TCritical(1, opts.Alpha); err != nil {
+		return nil, fmt.Errorf("perfdb: %v", err)
+	}
+	if opts.MinEffect < 0 {
+		return nil, fmt.Errorf("perfdb: negative min-effect %g", opts.MinEffect)
+	}
+	if len(views) < 3 {
+		return nil, fmt.Errorf("perfdb: trend needs at least 3 runs, have %d", len(views))
+	}
+	rep := &TrendReport{
+		Alpha:     opts.Alpha,
+		MinEffect: opts.MinEffect,
+	}
+	if rep.Alpha == 0 {
+		rep.Alpha = 0.05
+	}
+	if rep.MinEffect == 0 {
+		rep.MinEffect = DefaultTrendEffect
+	}
+	for _, v := range views {
+		rep.Runs = append(rep.Runs, v.Meta)
+		if rep.Program == "" {
+			rep.Program = v.Meta.Program
+		}
+	}
+	// Pair universe: everything any run enabled, keyed for alignment;
+	// pairs missing from some runs are reported, not silently dropped.
+	type presence struct {
+		pair Pair
+		runs int
+	}
+	seen := map[string]*presence{}
+	var order []string
+	for _, v := range views {
+		for _, p := range v.Pairs() {
+			k := p.Key()
+			if seen[k] == nil {
+				seen[k] = &presence{pair: p}
+				order = append(order, k)
+			}
+			seen[k].runs++
+		}
+	}
+	sort.Strings(order)
+	for _, k := range order {
+		pr := seen[k]
+		st := SeriesTrend{Pair: pr.pair}
+		if pr.runs < len(views) {
+			st.Verdict = TrendSkipped
+			st.Skipped = fmt.Sprintf("collected in only %d of %d runs", pr.runs, len(views))
+			rep.Series = append(rep.Series, st)
+			continue
+		}
+		for _, v := range views {
+			st.Rates = append(st.Rates, v.SeriesFor(pr.pair).Histogram().MeanRateExcludingEnds())
+		}
+		fit, err := stats.LinearTrend(st.Rates, rep.Alpha)
+		if err != nil {
+			st.Verdict = TrendSkipped
+			st.Skipped = err.Error()
+			rep.Series = append(rep.Series, st)
+			continue
+		}
+		st.Slope = fit.Slope
+		st.CI = fit.CI
+		switch mean := stats.Mean(st.Rates); {
+		case mean != 0:
+			st.RelSlope = st.Slope / mean
+		case st.Slope != 0:
+			st.RelSlope = math.NaN()
+		}
+		significant := fit.Significant
+		if significant && !math.IsNaN(st.RelSlope) && math.Abs(st.RelSlope) < rep.MinEffect {
+			significant = false
+		}
+		switch {
+		case !significant:
+			st.Verdict = TrendStable
+		case st.Slope > 0:
+			st.Verdict = TrendUp
+		default:
+			st.Verdict = TrendDown
+		}
+		if st.Verdict.Drifting() {
+			if i := firstBad(st.Rates, st.Slope > 0, rep.MinEffect); i > 0 {
+				st.FirstBad = rep.Runs[i].ID
+			}
+		}
+		rep.Series = append(rep.Series, st)
+	}
+	rankTrends(rep.Series)
+	return rep, nil
+}
+
+// firstBad returns the index of the earliest run whose rate departs from
+// the mean of the preceding runs, in the drift's direction, by more than
+// the relative floor — the changepoint attribution. 0 means no single
+// run crossed the floor.
+func firstBad(rates []float64, up bool, floor float64) int {
+	sum := rates[0]
+	for i := 1; i < len(rates); i++ {
+		mean := sum / float64(i)
+		dev := rates[i] - mean
+		if !up {
+			dev = -dev
+		}
+		switch {
+		case mean != 0 && dev/math.Abs(mean) > floor:
+			return i
+		case mean == 0 && dev > 0:
+			// Departing from an all-zero prefix: any movement in the
+			// drift's direction is infinite relative change.
+			return i
+		}
+		sum += rates[i]
+	}
+	return 0
+}
+
+// rankTrends orders: drifting first by |RelSlope| descending (NaN ranks
+// above every finite drift), then stable, then skipped; pair names break
+// every tie.
+func rankTrends(ss []SeriesTrend) {
+	class := func(v TrendVerdict) int {
+		switch {
+		case v.Drifting():
+			return 0
+		case v == TrendStable:
+			return 1
+		default:
+			return 2
+		}
+	}
+	mag := func(s SeriesTrend) float64 {
+		if math.IsNaN(s.RelSlope) {
+			return math.Inf(1)
+		}
+		return math.Abs(s.RelSlope)
+	}
+	sort.SliceStable(ss, func(i, j int) bool {
+		ci, cj := class(ss[i].Verdict), class(ss[j].Verdict)
+		if ci != cj {
+			return ci < cj
+		}
+		if ci == 0 {
+			mi, mj := mag(ss[i]), mag(ss[j])
+			if mi != mj {
+				return mi > mj
+			}
+		}
+		return ss[i].Pair.Key() < ss[j].Pair.Key()
+	})
+}
+
+// describe renders one series as a report line.
+func (s SeriesTrend) describe() string {
+	name := fmt.Sprintf("%s @ %s", s.Pair.Metric, s.Pair.Focus)
+	if s.Verdict == TrendSkipped {
+		return fmt.Sprintf("%-13s %s: %s", s.Verdict, name, s.Skipped)
+	}
+	rel := "n/a"
+	if !math.IsNaN(s.RelSlope) {
+		rel = fmt.Sprintf("%+.1f%%", s.RelSlope*100)
+	}
+	line := fmt.Sprintf("%-13s %s: %.6g/s -> %.6g/s (slope %+.6g/s per run, %s of mean, CI %s)",
+		s.Verdict, name, s.Rates[0], s.Rates[len(s.Rates)-1], s.Slope, rel, s.CI)
+	if s.FirstBad != "" {
+		line += fmt.Sprintf(" first-bad %s", s.FirstBad)
+	}
+	return line
+}
+
+// Render produces the ranked, byte-deterministic trend report.
+func (r *TrendReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "perfdb trend: %s over %d runs\n", orDash(r.Program), len(r.Runs))
+	ids := make([]string, len(r.Runs))
+	for i, m := range r.Runs {
+		ids[i] = runTitle(m)
+	}
+	fmt.Fprintf(&b, "  runs: %s\n", strings.Join(ids, ", "))
+	fmt.Fprintf(&b, "  alpha: %g, min-effect: %g\n", r.Alpha, r.MinEffect)
+	if len(r.Series) == 0 {
+		b.WriteString("no collected metric-focus pairs\n")
+	}
+	for _, s := range r.Series {
+		b.WriteString("  " + s.describe() + "\n")
+	}
+	nDrift := len(r.Drifting())
+	fmt.Fprintf(&b, "%d series fit, %d drifting\n", len(r.Series), nDrift)
+	return b.String()
+}

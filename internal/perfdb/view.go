@@ -2,6 +2,7 @@ package perfdb
 
 import (
 	"sort"
+	"strings"
 
 	"pperf/internal/datasource"
 	"pperf/internal/resource"
@@ -27,7 +28,8 @@ type RunView struct {
 	*session.ReplaySource
 	Meta RunMeta
 
-	pairs []Pair
+	pairs    []Pair
+	faultLog []string
 }
 
 // RunView serves DataSource queries like any other source.
@@ -38,6 +40,9 @@ var _ datasource.DataSource = (*RunView)(nil)
 func NewRunView(a *session.Archive, m RunMeta) *RunView {
 	rs := session.NewReplaySource(a)
 	rv := &RunView{ReplaySource: rs, Meta: m}
+	if log := a.Header.Meta["fault-log"]; log != "" {
+		rv.faultLog = strings.Split(log, "\n")
+	}
 	seen := map[string]bool{}
 	// Register every successfully-enabled pair before applying events:
 	// the view drops samples for unregistered pairs.
@@ -76,4 +81,11 @@ func (rv *RunView) Pairs() []Pair {
 // never enabled it).
 func (rv *RunView) SeriesFor(p Pair) *datasource.Series {
 	return rv.Series(p.Metric, p.Focus)
+}
+
+// FaultLog returns the run's fired-fault audit trail as recorded in the
+// archive header (empty for a healthy run, or for archives recorded
+// before the log was persisted).
+func (rv *RunView) FaultLog() []string {
+	return append([]string(nil), rv.faultLog...)
 }

@@ -1,0 +1,232 @@
+package perfdb
+
+// Windowed-comparison edge cases: empty windows, windows past the run
+// end, windows that exclude a series entirely, and the -since-fault
+// anchor — including its hard error on a run with no fired faults.
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"pperf/internal/datasource"
+	"pperf/internal/session"
+	"pperf/internal/sim"
+)
+
+// appendSeries adds another metric's enable+samples to a synthetic
+// archive (50ms sample spacing, like rateArchive).
+func appendSeries(a *session.Archive, metricName string, deltas []float64) {
+	a.Events = append(a.Events, session.Event{Kind: session.EvEnable, Metric: metricName, Focus: testFocus})
+	for i, d := range deltas {
+		a.Events = append(a.Events, session.Event{Kind: session.EvSamples, Samples: []datasource.Sample{{
+			Metric: metricName, Focus: testFocus, Proc: "p{0}",
+			Time: sim.Time(i) * sim.Time(50*sim.Millisecond), Delta: d, Value: d,
+		}}})
+	}
+	a.Header.NumEvents = len(a.Events)
+}
+
+// goldenPair builds the verdict-diverse base/new pair the pre-redesign
+// golden was generated from.
+func goldenPair() (*RunView, *RunView) {
+	baseArch := rateArchive("m_reg", 100, flat(40, 1.0))
+	appendSeries(baseArch, "m_imp", flat(40, 2.0))
+	appendSeries(baseArch, "m_same", flat(40, 1.0))
+	appendSeries(baseArch, "m_short", flat(2, 1.0))
+	appendSeries(baseArch, "only_base", flat(40, 1.0))
+	newArch := rateArchive("m_reg", 100, flat(40, 2.0))
+	appendSeries(newArch, "m_imp", flat(40, 1.0))
+	appendSeries(newArch, "m_same", flat(40, 1.0))
+	appendSeries(newArch, "m_short", flat(2, 2.0))
+	appendSeries(newArch, "only_new", flat(40, 1.0))
+	return view(baseArch, "base"), view(newArch, "new")
+}
+
+// TestCompareDefaultMatchesGolden pins the api_redesign compatibility
+// bar: Compare with zero options (and the deprecated Diff wrapper) must
+// render byte-identically to the report the pre-Compare code produced,
+// captured in testdata/diff_default.golden.
+func TestCompareDefaultMatchesGolden(t *testing.T) {
+	want, err := os.ReadFile("testdata/diff_default.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, neu := goldenPair()
+	rep, err := Compare(base, neu, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Render(); got != string(want) {
+		t.Errorf("Compare(default) diverges from the pre-redesign golden:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if got := Diff(base, neu).Render(); got != string(want) {
+		t.Errorf("Diff wrapper diverges from the pre-redesign golden:\n%s", got)
+	}
+}
+
+func TestCompareEmptyWindowErrors(t *testing.T) {
+	base := view(rateArchive("m", 100, flat(40, 1.0)), "base")
+	neu := view(rateArchive("m", 100, flat(40, 2.0)), "new")
+	if _, err := Compare(base, neu, CompareOptions{
+		Window: Window{From: sim.Time(sim.Second), To: sim.Time(sim.Second)},
+	}); err == nil || !strings.Contains(err.Error(), "empty window") {
+		t.Errorf("empty window: err = %v", err)
+	}
+	if _, err := Compare(base, neu, CompareOptions{
+		Window: Window{From: sim.Time(2 * sim.Second), To: sim.Time(sim.Second)},
+	}); err == nil {
+		t.Error("inverted window accepted")
+	}
+}
+
+func TestCompareWindowPastRunEnd(t *testing.T) {
+	// 40 bins at 50ms end at 2s; a window starting at 10s overlaps
+	// nothing. The pair must surface as NOT-COMPARABLE with a reason, not
+	// vanish from the report.
+	base := view(rateArchive("m", 100, flat(40, 1.0)), "base")
+	neu := view(rateArchive("m", 100, flat(40, 2.0)), "new")
+	rep, err := Compare(base, neu, CompareOptions{Window: Window{From: sim.Time(10 * sim.Second)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Deltas) != 1 {
+		t.Fatalf("deltas: %+v", rep.Deltas)
+	}
+	d := rep.Deltas[0]
+	if d.Verdict != VerdictNotComparable || !strings.Contains(d.Skipped, "excludes every interior bin") {
+		t.Errorf("past-end window: %s %q", d.Verdict, d.Skipped)
+	}
+	if !strings.Contains(rep.Render(), "NOT-COMPARABLE") {
+		t.Error("render drops the not-comparable pair")
+	}
+	if !strings.Contains(rep.Render(), "window: [10.000s, end)") {
+		t.Errorf("render lacks the window line:\n%s", rep.Render())
+	}
+}
+
+func TestCompareWindowExcludesOneSeries(t *testing.T) {
+	// m_long spans the whole 2s run; m_early stops at 0.5s. A [1s, 2s)
+	// window still compares m_long but excludes every m_early bin.
+	baseArch := rateArchive("m_long", 100, flat(40, 1.0))
+	appendSeries(baseArch, "m_early", flat(10, 1.0))
+	newArch := rateArchive("m_long", 100, flat(40, 3.0))
+	appendSeries(newArch, "m_early", flat(10, 3.0))
+	rep, err := Compare(view(baseArch, "base"), view(newArch, "new"), CompareOptions{
+		Window: Window{From: sim.Time(sim.Second), To: sim.Time(2 * sim.Second)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]SeriesDelta{}
+	for _, d := range rep.Deltas {
+		byName[d.Pair.Metric] = d
+	}
+	if d := byName["m_long"]; d.Verdict != VerdictRegression {
+		t.Errorf("m_long in window: %s %q", d.Verdict, d.Skipped)
+	}
+	if d := byName["m_early"]; d.Verdict != VerdictNotComparable || d.Skipped == "" {
+		t.Errorf("m_early excluded by window: %s %q", d.Verdict, d.Skipped)
+	}
+}
+
+func TestCompareWindowRestrictsBins(t *testing.T) {
+	// Regression confined to [1s, 2s): the windowed comparison sees only
+	// those bins and a rate jump from 20/s to 60/s.
+	deltas := flat(40, 1.0)
+	for i := 20; i < 40; i++ {
+		deltas[i] = 3.0
+	}
+	base := view(rateArchive("m", 100, flat(40, 1.0)), "base")
+	neu := view(rateArchive("m", 100, deltas), "new")
+	rep, err := Compare(base, neu, CompareOptions{Window: Window{From: sim.Time(sim.Second)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := rep.Deltas[0]
+	if d.Verdict != VerdictRegression {
+		t.Fatalf("windowed regression: %s %q", d.Verdict, d.Skipped)
+	}
+	// Interior bins are 1..38; the window keeps 20..38 — 19 bins.
+	if d.Bins != 19 {
+		t.Errorf("windowed bins = %d, want 19", d.Bins)
+	}
+	if d.BaseRate != 20 || d.NewRate != 60 {
+		t.Errorf("windowed rates: %g/s -> %g/s, want 20 -> 60", d.BaseRate, d.NewRate)
+	}
+}
+
+func TestSinceFaultAnchorsWindow(t *testing.T) {
+	a := rateArchive("m", 100, flat(40, 1.0))
+	deltas := flat(40, 1.0)
+	for i := 24; i < 40; i++ {
+		deltas[i] = 3.0
+	}
+	b := rateArchive("m", 100, deltas)
+	b.Header.Meta["fault-log"] = "1.200s degrade-link *:* lat=1 bw=0.1"
+	rep, err := Compare(view(a, "base"), view(b, "faulted"), CompareOptions{SinceFault: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Window.From != sim.Time(1200*sim.Millisecond) || !rep.SinceFault {
+		t.Errorf("window = %+v sinceFault=%v, want anchored at 1.2s", rep.Window, rep.SinceFault)
+	}
+	if d := rep.Deltas[0]; d.Verdict != VerdictRegression || d.BaseRate != 20 || d.NewRate != 60 {
+		t.Errorf("post-fault delta: %+v", d)
+	}
+	if !strings.Contains(rep.Render(), "anchored at the new run's first fired fault") {
+		t.Errorf("render lacks the anchor note:\n%s", rep.Render())
+	}
+}
+
+func TestSinceFaultWithoutFiredFaultsErrors(t *testing.T) {
+	base := view(rateArchive("m", 100, flat(40, 1.0)), "base")
+	neu := view(rateArchive("m", 100, flat(40, 2.0)), "new")
+	_, err := Compare(base, neu, CompareOptions{SinceFault: true})
+	if err == nil || !strings.Contains(err.Error(), "no fired faults") || !strings.Contains(err.Error(), "-from") {
+		t.Errorf("since-fault without faults: err = %v (want a hard error with a -from hint)", err)
+	}
+	// A log holding only skipped entries must also refuse to anchor.
+	b := rateArchive("m", 100, flat(40, 2.0))
+	b.Header.Meta["fault-log"] = "1.000s hang-daemon node2: no hook, skipped"
+	if _, err := Compare(base, view(b, "skippedonly"), CompareOptions{SinceFault: true}); err == nil {
+		t.Error("skipped-only fault log anchored a window")
+	}
+	// And an explicit -from alongside -since-fault is ambiguous.
+	c := rateArchive("m", 100, flat(40, 2.0))
+	c.Header.Meta["fault-log"] = "1.000s kill-node node1"
+	if _, err := Compare(base, view(c, "faulted"), CompareOptions{
+		SinceFault: true, Window: Window{From: sim.Time(sim.Second)},
+	}); err == nil {
+		t.Error("since-fault combined with an explicit window start accepted")
+	}
+}
+
+func TestCompareAlphaAndMinEffect(t *testing.T) {
+	base := view(rateArchive("m", 100, flat(40, 1.0)), "base")
+	slight := view(rateArchive("m", 100, flat(40, 1.05)), "slight")
+	rep, err := Compare(base, slight, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Deltas[0].Verdict != VerdictRegression {
+		t.Fatalf("constant +5%% shift should be significant: %+v", rep.Deltas[0])
+	}
+	// MinEffect floors it back to unchanged.
+	rep, err = Compare(base, slight, CompareOptions{MinEffect: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Deltas[0].Verdict != VerdictUnchanged {
+		t.Errorf("min-effect 0.10 kept a 5%% change significant: %+v", rep.Deltas[0])
+	}
+	if _, err := Compare(base, slight, CompareOptions{Alpha: 0.2}); err == nil {
+		t.Error("unsupported alpha accepted")
+	}
+	if _, err := Compare(base, slight, CompareOptions{Alpha: 0.10}); err != nil {
+		t.Errorf("alpha 0.10 refused: %v", err)
+	}
+	if _, err := Compare(base, slight, CompareOptions{MinEffect: -1}); err == nil {
+		t.Error("negative min-effect accepted")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"strings"
 
 	"pperf/internal/consultant"
 	"pperf/internal/frontend"
@@ -79,6 +80,13 @@ func finishRecording(opt RunOptions, res *Result, pcCfg consultant.Config) {
 	rec.SetMeta("runtime", res.RunTime.String())
 	if opt.Faults != nil {
 		rec.SetMeta("faults", opt.Faults.String())
+	}
+	// The fired-fault audit trail also lands in the header, one line per
+	// entry, so store-level consumers (the diff plane's -since-fault
+	// window anchor) can read fire times without decoding the harness
+	// payload in Extra.
+	if len(res.FaultLog) > 0 {
+		rec.SetMeta("fault-log", strings.Join(res.FaultLog, "\n"))
 	}
 }
 

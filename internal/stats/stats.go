@@ -46,6 +46,55 @@ var tCrit95 = []float64{
 	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
 }
 
+// tCrit90 and tCrit99 are the two-sided 90% and 99% tables over the same
+// df range, for callers that loosen or tighten the significance level.
+var tCrit90 = []float64{
+	6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812,
+	1.796, 1.782, 1.771, 1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725,
+	1.721, 1.717, 1.714, 1.711, 1.708, 1.706, 1.703, 1.701, 1.699, 1.697,
+}
+
+var tCrit99 = []float64{
+	63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250, 3.169,
+	3.106, 3.055, 3.012, 2.977, 2.947, 2.921, 2.898, 2.878, 2.861, 2.845,
+	2.831, 2.819, 2.807, 2.797, 2.787, 2.779, 2.771, 2.763, 2.756, 2.750,
+}
+
+// alphaTables maps a supported two-sided significance level to its
+// critical-value table and normal-approximation tail value.
+var alphaTables = map[float64]struct {
+	table []float64
+	z     float64
+}{
+	0.10: {tCrit90, 1.645},
+	0.05: {tCrit95, 1.96},
+	0.01: {tCrit99, 2.576},
+}
+
+// SupportedAlphas lists the significance levels TCritical accepts, in
+// loosest-to-tightest order.
+var SupportedAlphas = []float64{0.10, 0.05, 0.01}
+
+// TCritical returns the two-sided Student-t critical value at the given
+// significance level (alpha 0.10, 0.05 or 0.01; 0 means 0.05). An
+// unsupported alpha is an error — the tables are fixed, not interpolated.
+func TCritical(df int, alpha float64) (float64, error) {
+	if alpha == 0 {
+		alpha = 0.05
+	}
+	at, ok := alphaTables[alpha]
+	if !ok {
+		return 0, fmt.Errorf("stats: unsupported alpha %g (supported: 0.10, 0.05, 0.01)", alpha)
+	}
+	if df <= 0 {
+		return math.Inf(1), nil
+	}
+	if df <= len(at.table) {
+		return at.table[df-1], nil
+	}
+	return at.z, nil
+}
+
 // TCritical95 returns the two-sided 95% t critical value for the given
 // degrees of freedom.
 func TCritical95(df int) float64 {
@@ -80,6 +129,22 @@ func MeanCI95(xs []float64) Interval {
 	return Interval{m - half, m + half}
 }
 
+// MeanCI returns the confidence interval of the mean at the given
+// significance level (see TCritical for the supported alphas).
+func MeanCI(xs []float64, alpha float64) (Interval, error) {
+	n := len(xs)
+	m := Mean(xs)
+	tc, err := TCritical(n-1, alpha)
+	if err != nil {
+		return Interval{}, err
+	}
+	if n < 2 {
+		return Interval{m, m}, nil
+	}
+	half := tc * StdDev(xs) / math.Sqrt(float64(n))
+	return Interval{m - half, m + half}, nil
+}
+
 // PairedResult is the outcome of a paired-difference comparison.
 type PairedResult struct {
 	MeanDiff float64
@@ -93,8 +158,14 @@ type PairedResult struct {
 	N       int
 }
 
-// PairedDiff compares paired measurements a[i] vs b[i].
+// PairedDiff compares paired measurements a[i] vs b[i] at the 95% level.
 func PairedDiff(a, b []float64) (*PairedResult, error) {
+	return PairedDiffAlpha(a, b, 0.05)
+}
+
+// PairedDiffAlpha is PairedDiff at an explicit significance level (see
+// TCritical for the supported alphas; 0 means 0.05).
+func PairedDiffAlpha(a, b []float64, alpha float64) (*PairedResult, error) {
 	if len(a) != len(b) {
 		return nil, fmt.Errorf("stats: paired samples differ in length: %d vs %d", len(a), len(b))
 	}
@@ -105,7 +176,10 @@ func PairedDiff(a, b []float64) (*PairedResult, error) {
 	for i := range a {
 		diffs[i] = a[i] - b[i]
 	}
-	ci := MeanCI95(diffs)
+	ci, err := MeanCI(diffs, alpha)
+	if err != nil {
+		return nil, err
+	}
 	res := &PairedResult{
 		MeanDiff:    Mean(diffs),
 		CI:          ci,

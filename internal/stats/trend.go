@@ -1,0 +1,62 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// TrendFit is an ordinary-least-squares line fit of y against its index
+// (x = 0, 1, …, n-1), with a confidence interval on the slope. It answers
+// the cross-run question "is this series drifting over successive runs?"
+// with the same CI-excludes-zero criterion the paired-difference test
+// uses for pairwise comparison.
+type TrendFit struct {
+	// Slope is the fitted per-index change; Intercept the value at x=0.
+	Slope, Intercept float64
+	// CI is the confidence interval of Slope at the requested level.
+	CI Interval
+	// Significant is true when the CI excludes zero.
+	Significant bool
+	// SE is the standard error of the slope; N the number of points.
+	SE float64
+	N  int
+}
+
+// LinearTrend fits y over x = 0..n-1 and tests the slope at the given
+// significance level (alpha 0.10, 0.05 or 0.01; 0 means 0.05). At least
+// three points are required — with two, the fit is exact and the slope
+// has no error estimate.
+func LinearTrend(ys []float64, alpha float64) (*TrendFit, error) {
+	n := len(ys)
+	if n < 3 {
+		return nil, fmt.Errorf("stats: trend needs at least 3 points, have %d", n)
+	}
+	tc, err := TCritical(n-2, alpha)
+	if err != nil {
+		return nil, err
+	}
+	xm := float64(n-1) / 2
+	ym := Mean(ys)
+	sxx, sxy := 0.0, 0.0
+	for i, y := range ys {
+		dx := float64(i) - xm
+		sxx += dx * dx
+		sxy += dx * (y - ym)
+	}
+	fit := &TrendFit{Slope: sxy / sxx, N: n}
+	fit.Intercept = ym - fit.Slope*xm
+	sse := 0.0
+	for i, y := range ys {
+		r := y - (fit.Intercept + fit.Slope*float64(i))
+		sse += r * r
+	}
+	// Guard tiny negative residual sums from float cancellation.
+	if sse < 0 {
+		sse = 0
+	}
+	fit.SE = math.Sqrt(sse / float64(n-2) / sxx)
+	half := tc * fit.SE
+	fit.CI = Interval{fit.Slope - half, fit.Slope + half}
+	fit.Significant = !fit.CI.Contains(0)
+	return fit, nil
+}
